@@ -1,0 +1,132 @@
+(* s1lc — the S-1 Lisp compiler command line.
+
+   Usage examples:
+     s1lc --eval "(+ 1 2)"                 evaluate forms (compiled)
+     s1lc file.lisp                        compile and run a file
+     s1lc --listing --eval "(defun f (x) (* x x))"
+                                           show generated assembly
+     s1lc --transcript --eval "..."        show the optimizer transcript
+     s1lc --phases                         print the Table 1 phase list
+     s1lc --interpret file.lisp            run through the interpreter
+     s1lc --repl                           interactive read-eval-print loop
+     s1lc --stats ...                      print simulator statistics at exit *)
+
+module C = S1_core.Compiler
+module Rt = S1_runtime.Rt
+module Reader = S1_sexp.Reader
+
+let run phases listing transcript tns interpret repl stats unchecked no_opt cse peephole
+    evals files =
+  let options =
+    {
+      S1_codegen.Gen.default_options with
+      S1_codegen.Gen.checked = not unchecked;
+      S1_codegen.Gen.peephole = peephole;
+    }
+  in
+  let rules =
+    if no_opt then S1_transform.Rules.nothing else S1_transform.Rules.default_config
+  in
+  let c = C.create ~options ~rules ~cse () in
+  if phases then begin
+    print_endline "Phase structure (paper Table 1):";
+    List.iter (fun p -> Printf.printf "  - %s\n" p) C.phases
+  end;
+  let process_form form =
+    if listing || transcript || tns then begin
+      let l, t = C.listing_of c form in
+      if transcript then print_string (S1_transform.Transcript.to_string t);
+      if tns then
+        (match c.C.last_tn_report with Some r -> print_string r | None -> ());
+      if listing then print_endline l;
+      (* also actually evaluate, for defuns and effects *)
+      match form with
+      | S1_sexp.Sexp.List (S1_sexp.Sexp.Sym "DEFUN" :: _) -> ()
+      | _ -> ignore (C.eval c form)
+    end
+    else
+      let w =
+        if interpret then S1_interp.Interp.eval_sexp c.C.it form else C.eval c form
+      in
+      Printf.printf "%s\n" (C.print_value c w)
+  in
+  let process_string src = List.iter process_form (Reader.parse_string src) in
+  List.iter process_string evals;
+  List.iter
+    (fun file ->
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      process_string src)
+    files;
+  let out = Rt.output c.C.rt in
+  if out <> "" then print_string out;
+  if repl then begin
+    print_endline ";; S-1 Lisp (simulated) — :q to quit";
+    (try
+       while true do
+         print_string "* ";
+         flush stdout;
+         let line = input_line stdin in
+         if line = ":q" then raise Exit
+         else if String.trim line <> "" then begin
+           (try process_string line with
+           | Rt.Lisp_error m -> Printf.printf ";; error: %s\n" m
+           | Reader.Parse_error e ->
+               Format.printf ";; %a@." Reader.pp_error e
+           | S1_frontend.Macroexp.Expansion_error m | S1_frontend.Convert.Convert_error m ->
+               Printf.printf ";; error: %s\n" m);
+           let out = Rt.output c.C.rt in
+           if out <> "" then print_string out;
+           Rt.clear_output c.C.rt
+         end
+       done
+     with Exit | End_of_file -> ())
+  end;
+  if stats then
+    Format.printf "%a@." S1_machine.Cpu.pp_stats c.C.rt.Rt.cpu.S1_machine.Cpu.stats
+
+open Cmdliner
+
+let phases = Arg.(value & flag & info [ "phases" ] ~doc:"Print the compiler phase structure.")
+let listing = Arg.(value & flag & info [ "listing"; "S" ] ~doc:"Print generated assembly.")
+
+let transcript =
+  Arg.(value & flag & info [ "transcript" ] ~doc:"Print the optimizer transcript.")
+
+let tns =
+  Arg.(value & flag & info [ "tns" ] ~doc:"Print the TNBIND register-allocation report.")
+
+let interpret =
+  Arg.(value & flag & info [ "interpret"; "i" ] ~doc:"Use the interpreter, not the compiler.")
+
+let repl = Arg.(value & flag & info [ "repl" ] ~doc:"Interactive read-eval-print loop.")
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print simulator statistics at exit.")
+
+let unchecked =
+  Arg.(value & flag & info [ "unchecked" ] ~doc:"Compile without run-time type checks.")
+
+let no_opt =
+  Arg.(value & flag & info [ "no-opt"; "O0" ] ~doc:"Disable the source-level optimizer.")
+
+let cse =
+  Arg.(value & flag & info [ "cse" ] ~doc:"Enable common-subexpression elimination (§4.3).")
+
+let peephole =
+  Arg.(value & flag & info [ "peephole" ] ~doc:"Enable branch tensioning and dead-code peephole (§4.5).")
+
+let evals =
+  Arg.(value & opt_all string [] & info [ "eval"; "e" ] ~docv:"FORM" ~doc:"Evaluate $(docv).")
+
+let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Lisp source files.")
+
+let cmd =
+  let doc = "compile Lisp for a simulated S-1 (Brooks, Gabriel & Steele, 1982)" in
+  Cmd.v
+    (Cmd.info "s1lc" ~doc)
+    Term.(
+      const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ unchecked
+      $ no_opt $ cse $ peephole $ evals $ files)
+
+let () = exit (Cmd.eval cmd)

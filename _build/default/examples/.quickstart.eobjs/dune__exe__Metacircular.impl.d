@@ -1,0 +1,1 @@
+examples/metacircular.ml: Printf S1_core S1_machine S1_runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf S1_core S1_machine S1_runtime S1_sexp S1_transform String

@@ -1,0 +1,1 @@
+examples/symbolic.ml: Printf S1_core S1_runtime

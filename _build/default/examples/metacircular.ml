@@ -1,0 +1,94 @@
+(* A metacircular evaluator: Lisp-in-Lisp, with the outer Lisp compiled
+   to S-1 machine code by this compiler and executed on the simulator.
+   Three layers deep: OCaml simulates the S-1, the S-1 runs compiled
+   Lisp, and that Lisp interprets more Lisp.
+
+   Exercises deep recursion, CASEQ dispatch, association lists, heavy
+   consing (and therefore the garbage collector), and symbols as data.
+
+   Run with:  dune exec examples/metacircular.exe *)
+
+module C = S1_core.Compiler
+module Rt = S1_runtime.Rt
+module Cpu = S1_machine.Cpu
+
+let evaluator =
+  {lisp|
+;; Environments are association lists of (name . value).
+(defun env-lookup (name env)
+  (let ((hit (assq name env)))
+    (if hit (cdr hit) (error "unbound meta-variable"))))
+
+(defun mbind (params args env)
+  (if (null params) env
+      (cons (cons (car params) (car args))
+            (mbind (cdr params) (cdr args) env))))
+
+(defun mevlis (xs env)
+  (if (null xs) ()
+      (cons (meval (car xs) env) (mevlis (cdr xs) env))))
+
+(defun mapply (f args)
+  (if (and (consp f) (eq (car f) 'closure))
+      (meval (caddr f) (mbind (cadr f) args (cadr (cddr f))))
+      (error "calling a non-function")))
+
+(defun meval (e env)
+  (cond ((numberp e) e)
+        ((null e) ())
+        ((symbolp e) (env-lookup e env))
+        (t (caseq (car e)
+             ((quote)  (cadr e))
+             ((if)     (if (meval (cadr e) env)
+                           (meval (caddr e) env)
+                           (meval (cadr (cddr e)) env)))
+             ((lambda) (list 'closure (cadr e) (caddr e) env))
+             ((+)      (+ (meval (cadr e) env) (meval (caddr e) env)))
+             ((-)      (- (meval (cadr e) env) (meval (caddr e) env)))
+             ((*)      (* (meval (cadr e) env) (meval (caddr e) env)))
+             ((<)      (< (meval (cadr e) env) (meval (caddr e) env)))
+             ((eq)     (eq (meval (cadr e) env) (meval (caddr e) env)))
+             ((cons)   (cons (meval (cadr e) env) (meval (caddr e) env)))
+             ((car)    (car (meval (cadr e) env)))
+             ((cdr)    (cdr (meval (cadr e) env)))
+             (t        (mapply (meval (car e) env) (mevlis (cdr e) env)))))))
+|lisp}
+
+let () =
+  let c = C.create () in
+  ignore (C.eval_string c evaluator);
+  let show src =
+    Printf.printf "  %s\n    => %s\n" src (C.print_value c (C.eval_string c src))
+  in
+  print_endline "== a compiled Lisp interpreting Lisp ==";
+  show "(meval '(+ 1 2) ())";
+  show "(meval '((lambda (x y) (* x y)) 6 7) ())";
+  show "(meval '(if (< 1 2) 'yes 'no) ())";
+  (* closures close over the meta-environment *)
+  show "(meval '(((lambda (n) (lambda (x) (+ x n))) 5) 10) ())";
+  (* self-application: factorial without define *)
+  show
+    "(meval '((lambda (fact n) (fact fact n))\n\
+    \          (lambda (self k) (if (< k 1) 1 (* k (self self (- k 1)))))\n\
+    \          10)\n\
+    \        ())";
+  (* list processing in the meta-language *)
+  show
+    "(meval '((lambda (map f xs) (map map f xs))\n\
+    \          (lambda (self f xs)\n\
+    \            (if (eq xs '()) '() (cons (f (car xs)) (self self f (cdr xs)))))\n\
+    \          (lambda (x) (* x x))\n\
+    \          '(1 2 3 4 5))\n\
+    \        ())";
+  Cpu.reset_stats c.C.rt.Rt.cpu;
+  ignore
+    (C.eval_string c
+       "(meval '((lambda (fact n) (fact fact n))\n\
+       \          (lambda (self k) (if (< k 1) 1 (* k (self self (- k 1)))))\n\
+       \          40) ())");
+  let s = c.C.rt.Rt.cpu.Cpu.stats in
+  let h = S1_runtime.Heap.stats c.C.rt.Rt.heap in
+  Printf.printf
+    "\n== meta-factorial of 40 (a bignum) ==\n\
+    \  %d simulated cycles, %d calls, %d heap allocations, %d collections\n"
+    s.Cpu.cycles s.Cpu.calls h.S1_runtime.Heap.allocations h.S1_runtime.Heap.collections

@@ -1,0 +1,69 @@
+(* Mixed symbolic/numeric example — the paper's closing pitch: "certain
+   artificial intelligence applications ... that presently require a
+   mixture of symbolic heuristic calculations and intense numerical
+   crunching."
+
+   A tiny adaptive numerical integrator whose integrand is built
+   {e symbolically}: formulas are s-expressions, compiled-Lisp code walks
+   them to evaluate, and the numeric inner loop runs in raw single-float
+   form.  Also demonstrates closures (the integrand is a function value)
+   and dynamic variables (the tolerance).
+
+   Run with:  dune exec examples/mixed.exe *)
+
+module C = S1_core.Compiler
+module Rt = S1_runtime.Rt
+module Cpu = S1_machine.Cpu
+
+let program =
+  {lisp|
+;; evaluate a formula tree at x
+(defun feval (e x)
+  (declare (single-float x))
+  (cond ((numberp e) (float e))
+        ((eq e 'x) x)
+        (t (caseq (car e)
+             ((+) (+$f (feval (cadr e) x) (feval (caddr e) x)))
+             ((*) (*$f (feval (cadr e) x) (feval (caddr e) x)))
+             ((sin) (sin$f (feval (cadr e) x)))
+             (t (error "bad formula"))))))
+
+;; trapezoid integration with a fixed number of panels
+(defvar *panels* 64)
+
+(defun integrate (f lo hi)
+  (declare (single-float lo hi))
+  (let ((h (/$f (-$f hi lo) (float *panels*))))
+    (prog (i acc x)
+      (setq i 1)
+      (setq acc (/$f (+$f (funcall f lo) (funcall f hi)) 2.0))
+      loop
+      (if (>= i *panels*) (return (*$f acc h)))
+      (setq x (+$f lo (*$f h (float i))))
+      (setq acc (+$f acc (funcall f x)))
+      (setq i (1+ i))
+      (go loop))))
+
+;; build the integrand as a closure over a symbolic formula
+(defun integrand (formula) (lambda (x) (feval formula x)))
+|lisp}
+
+let () =
+  let c = C.create () in
+  ignore (C.eval_string c program);
+  let show src = Printf.printf "  %s\n    => %s\n" src (C.print_value c (C.eval_string c src)) in
+
+  print_endline "== symbolically-built integrands, numerically integrated ==";
+  show "(integrate (integrand '(* x x)) 0.0 1.0)";
+  show "(integrate (integrand '(+ (* x x) (* 2.0 x))) 0.0 1.0)";
+  show "(integrate (integrand '(sin x)) 0.0 3.14159265)";
+
+  print_endline "\n== accuracy scales with *panels* (a dynamic variable) ==";
+  show "(let ((*panels* 4)) (declare (special *panels*)) (integrate (integrand '(* x x)) 0.0 1.0))";
+  show "(let ((*panels* 512)) (declare (special *panels*)) (integrate (integrand '(* x x)) 0.0 1.0))";
+
+  Cpu.reset_stats c.C.rt.Rt.cpu;
+  ignore (C.eval_string c "(integrate (integrand '(sin x)) 0.0 3.14159265)");
+  let s = c.C.rt.Rt.cpu.Cpu.stats in
+  Printf.printf "\n== cost of the sin integral ==\n  %d cycles, %d instructions, %d calls\n"
+    s.Cpu.cycles s.Cpu.instructions s.Cpu.calls

@@ -1,0 +1,129 @@
+(* Numeric example: the paper's motivating claim is that a Lisp compiler
+   can "compete with the S-1 PASCAL and FORTRAN compilers for quality of
+   compiled numerical code".  This example compiles the same kernels with
+   and without type declarations and compares cycle counts against a
+   hand-scheduled "ideal" assembly version (standing in for the FORTRAN
+   compiler's output, per the Fateman experiment the paper cites).
+
+   Run with:  dune exec examples/numeric.exe *)
+
+module C = S1_core.Compiler
+module Rt = S1_runtime.Rt
+module Cpu = S1_machine.Cpu
+module Mem = S1_machine.Mem
+module Isa = S1_machine.Isa
+module Asm = S1_machine.Asm
+module F36 = S1_machine.Float36
+
+let declared_horner =
+  "(defun horner (x a b c d e)\n\
+  \  (declare (single-float x a b c d e))\n\
+  \  (+$f (*$f (+$f (*$f (+$f (*$f (+$f (*$f a x) b) x) c) x) d) x) e))"
+
+let generic_horner =
+  "(defun horner-g (x a b c d e)\n\
+  \  (+ (* (+ (* (+ (* (+ (* a x) b) x) c) x) d) x) e))"
+
+let cycles_of c src call =
+  ignore (C.eval_string c src);
+  (* warm up, then measure one call *)
+  ignore (C.eval_string c call);
+  Cpu.reset_stats c.C.rt.Rt.cpu;
+  let r = C.eval_string c call in
+  (c.C.rt.Rt.cpu.Cpu.stats.Cpu.cycles, C.print_value c r)
+
+(* The ideal hand code: arguments pre-unboxed in registers. *)
+let ideal_horner_cycles () =
+  let cpu = Cpu.create () in
+  let open Isa in
+  let f v = Imm (F36.encode_single v) in
+  let image =
+    Cpu.load cpu
+      Asm.
+        [
+          Label "GO";
+          Instr (Mov (Reg 10, f 2.0)) (* x *);
+          Instr (Mov (Reg 11, f 1.0)) (* a *);
+          Instr (Mov (Reg 12, f (-3.0))) (* b *);
+          Instr (Mov (Reg 13, f 0.5)) (* c *);
+          Instr (Mov (Reg 14, f 4.0)) (* d *);
+          Instr (Mov (Reg 15, f (-1.0))) (* e *);
+          Label "KERNEL";
+          Instr (Bin (FMULT, S, Reg rta, Reg 11, Reg 10));
+          Instr (Bin (FADD, S, Reg rta, Reg rta, Reg 12));
+          Instr (Bin (FMULT, S, Reg rta, Reg rta, Reg 10));
+          Instr (Bin (FADD, S, Reg rta, Reg rta, Reg 13));
+          Instr (Bin (FMULT, S, Reg rta, Reg rta, Reg 10));
+          Instr (Bin (FADD, S, Reg rta, Reg rta, Reg 14));
+          Instr (Bin (FMULT, S, Reg rta, Reg rta, Reg 10));
+          Instr (Bin (FADD, S, Reg rta, Reg rta, Reg 15));
+          Instr Halt;
+        ]
+  in
+  Cpu.run cpu ~at:(Cpu.label_addr image "GO");
+  let setup = Cpu.create () in
+  let image2 =
+    Cpu.load setup Asm.[ Label "S"; Instr (Mov (Reg 10, f 2.0)); Instr Halt ]
+  in
+  ignore image2;
+  (* measure only the kernel *)
+  Cpu.reset_stats cpu;
+  Cpu.run cpu ~at:(Cpu.label_addr image "KERNEL");
+  cpu.Cpu.stats.Cpu.cycles
+
+let () =
+  print_endline "== Horner evaluation of a degree-4 polynomial ==";
+  let call = "(horner 2.0 1.0 -3.0 0.5 4.0 -1.0)" in
+  let call_g = "(horner-g 2.0 1.0 -3.0 0.5 4.0 -1.0)" in
+
+  let c1 = C.create () in
+  let declared, v1 = cycles_of c1 declared_horner call in
+  let c2 = C.create () in
+  let generic, v2 = cycles_of c2 generic_horner call_g in
+  let ideal = ideal_horner_cycles () in
+  Printf.printf "  result (declared): %s   result (generic): %s\n" v1 v2;
+  Printf.printf "  %-34s %8s\n" "variant" "cycles";
+  Printf.printf "  %-34s %8d\n" "ideal hand assembly (FORTRAN-ish)" ideal;
+  Printf.printf "  %-34s %8d   (%.1fx ideal; includes call+frame+boxing)" "compiled, declared floats" declared
+    (float_of_int declared /. float_of_int ideal);
+  print_newline ();
+  Printf.printf "  %-34s %8d   (%.1fx declared)\n" "compiled, no declarations" generic
+    (float_of_int generic /. float_of_int declared);
+
+  print_endline "\n== dot product, 64 elements ==";
+  let build_vec = "(defun build (n acc) (if (zerop n) acc (build (1- n) (cons 1.5 acc))))" in
+  let dot =
+    "(defun dot (xs ys acc)\n\
+    \  (declare (single-float acc))\n\
+    \  (if (null xs) acc\n\
+    \      (dot (cdr xs) (cdr ys) (+$f acc (*$f (car xs) (car ys))))))"
+  in
+  let c3 = C.create () in
+  ignore (C.eval_string c3 build_vec);
+  ignore (C.eval_string c3 dot);
+  ignore (C.eval_string c3 "(defvar *xs* (build 64 ()))");
+  ignore (C.eval_string c3 "(defvar *ys* (build 64 ()))");
+  ignore (C.eval_string c3 "(dot *xs* *ys* 0.0)");
+  Cpu.reset_stats c3.C.rt.Rt.cpu;
+  let r = C.eval_string c3 "(dot *xs* *ys* 0.0)" in
+  Printf.printf "  (dot *xs* *ys* 0.0) => %s in %d cycles (%d heap words allocated)\n"
+    (C.print_value c3 r) c3.C.rt.Rt.cpu.Cpu.stats.Cpu.cycles
+    (S1_runtime.Heap.stats c3.C.rt.Rt.heap).S1_runtime.Heap.words_allocated;
+
+  (* the S-1's vector hardware, for contrast (paper §3) *)
+  let cpu = Cpu.create () in
+  let mem = cpu.Cpu.mem in
+  let base1 = Mem.alloc_static mem 64 and base2 = Mem.alloc_static mem 64 in
+  for i = 0 to 63 do
+    Mem.write mem (base1 + i) (F36.encode_single 1.5);
+    Mem.write mem (base2 + i) (F36.encode_single 1.5)
+  done;
+  let image =
+    Cpu.load cpu
+      Asm.[ Label "GO"; Instr (Isa.Vdot (Isa.Reg 0, Isa.Imm base1, Isa.Imm base2, Isa.Imm 64));
+            Instr Isa.Halt ]
+  in
+  Cpu.run cpu ~at:(Cpu.label_addr image "GO");
+  Printf.printf "  VDOT hardware instruction: %g in %d cycles\n"
+    (F36.decode_single (Cpu.get_reg cpu 0))
+    cpu.Cpu.stats.Cpu.cycles

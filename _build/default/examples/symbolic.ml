@@ -1,0 +1,70 @@
+(* Symbolic example: the traditional Lisp workload (the paper's lineage
+   runs through MACSYMA).  A small symbolic differentiator over
+   s-expression formulas, compiled and run on the simulated S-1,
+   exercising list structure, recursion, CASEQ dispatch, and the garbage
+   collector.
+
+   Run with:  dune exec examples/symbolic.exe *)
+
+module C = S1_core.Compiler
+module Rt = S1_runtime.Rt
+
+let deriv_program =
+  {lisp|
+(defun deriv (e x)
+  (cond ((numberp e) 0)
+        ((symbolp e) (if (eq e x) 1 0))
+        (t (caseq (car e)
+             ((+) (list '+ (deriv (cadr e) x) (deriv (caddr e) x)))
+             ((-) (list '- (deriv (cadr e) x) (deriv (caddr e) x)))
+             ((*) (list '+
+                        (list '* (cadr e) (deriv (caddr e) x))
+                        (list '* (deriv (cadr e) x) (caddr e))))
+             ((/) (list '/
+                        (list '- (list '* (deriv (cadr e) x) (caddr e))
+                                 (list '* (cadr e) (deriv (caddr e) x)))
+                        (list '* (caddr e) (caddr e))))
+             (t (error "unknown operator"))))))
+
+(defun simplify (e)
+  (if (atom e) e
+      (let ((op (car e)) (a (simplify (cadr e))) (b (simplify (caddr e))))
+        (cond ((and (numberp a) (numberp b))
+               (caseq op
+                 ((+) (+ a b)) ((-) (- a b)) ((*) (* a b))
+                 (t (list op a b))))
+              ((and (eq op '*) (or (eql a 0) (eql b 0))) 0)
+              ((and (eq op '*) (eql a 1)) b)
+              ((and (eq op '*) (eql b 1)) a)
+              ((and (eq op '+) (eql a 0)) b)
+              ((and (eq op '+) (eql b 0)) a)
+              ((and (eq op '-) (eql b 0)) a)
+              (t (list op a b))))))
+
+(defun deriv-n (e x n)
+  (if (zerop n) e (deriv-n (simplify (deriv e x)) x (1- n))))
+|lisp}
+
+let () =
+  let c = C.create () in
+  ignore (C.eval_string c deriv_program);
+  let show src = Printf.printf "  %s\n    => %s\n" src (C.print_value c (C.eval_string c src)) in
+
+  print_endline "== symbolic differentiation, compiled ==";
+  show "(deriv '(+ (* x x) (* 3 x)) 'x)";
+  show "(simplify (deriv '(+ (* x x) (* 3 x)) 'x))";
+  show "(simplify (deriv '(* x (* x x)) 'x))";
+  show "(simplify (deriv '(/ 1 x) 'x))";
+  print_endline "\n== repeated derivatives of (* x (* x (* x (* x x)))) ==";
+  show "(deriv-n '(* x (* x (* x (* x x)))) 'x 1)";
+  show "(deriv-n '(* x (* x (* x (* x x)))) 'x 2)";
+  show "(deriv-n '(* x (* x (* x (* x x)))) 'x 3)";
+  show "(deriv-n '(* x (* x (* x (* x x)))) 'x 4)";
+  show "(deriv-n '(* x (* x (* x (* x x)))) 'x 5)";
+
+  let h = S1_runtime.Heap.stats c.C.rt.Rt.heap in
+  Printf.printf
+    "\n== heap behaviour ==\n  %d allocations, %d words, %d collections, %d words live\n"
+    h.S1_runtime.Heap.allocations h.S1_runtime.Heap.words_allocated
+    h.S1_runtime.Heap.collections
+    (S1_runtime.Heap.live_words c.C.rt.Rt.heap)

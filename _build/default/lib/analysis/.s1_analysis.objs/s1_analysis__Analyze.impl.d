@@ -1,0 +1,1 @@
+lib/analysis/analyze.ml: Binding Complexity Effects Envan Node S1_ir Tailan

@@ -1,0 +1,1 @@
+lib/analysis/binding.ml: Hashtbl List Node Option S1_ir

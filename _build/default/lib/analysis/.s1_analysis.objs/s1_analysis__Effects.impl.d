@@ -1,0 +1,1 @@
+lib/analysis/effects.ml: List Node S1_frontend S1_ir S1_sexp

@@ -1,0 +1,1 @@
+lib/analysis/envan.ml: List Node S1_ir

@@ -1,0 +1,1 @@
+lib/analysis/specials.ml: Hashtbl List Node Option S1_ir

@@ -1,0 +1,1 @@
+lib/analysis/tailan.ml: List Node Option S1_ir

@@ -1,0 +1,16 @@
+(** The analysis driver: run every machine-independent analysis in the
+    paper's Table 1 order.  The optimizer calls {!refresh} after each
+    transformation round (the paper does this incrementally with
+    per-node dirty flags; re-running the linear passes is equivalent and
+    these trees are small). *)
+
+open S1_ir
+
+let refresh (root : Node.node) : unit =
+  Envan.run root;
+  Effects.run root;
+  Complexity.run root;
+  Tailan.run root;
+  Binding.run root
+
+let run = refresh

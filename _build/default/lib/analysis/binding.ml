@@ -1,0 +1,160 @@
+(** Binding annotation (paper §4.4).
+
+    "The binding annotation phase examines each lambda-expression in the
+    tree and determines how that lambda-expression is to be compiled."
+
+    Strategies assigned here (see {!Node.strategy}):
+
+    - A lambda in the function position of a call whose arguments match
+      its parameters compiles {b Open}: it is a [let], wired inline.
+    - A lambda bound to an (unassigned) Open-lambda parameter all of
+      whose references are in function position compiles {b Jump} when
+      every such call is tail-recursive — "it may be possible to compile
+      all such calls as, in effect, parameter-passing goto statements,
+      and no closure need be constructed at run time" — or {b Fast}
+      (known-callers subroutine linkage without argument-count checking)
+      otherwise.
+    - Anything else becomes a {b Full_closure}: "a closure object must be
+      explicitly constructed at run time, containing the current lexical
+      environment and a pointer to the code."
+
+    The phase also "determines which variables can be stack-allocated and
+    which must (because they are referred to by closures) be
+    heap-allocated": [v_captured] marks variables crossing a closure
+    boundary, and every Full_closure lambda gets its capture list. *)
+
+open S1_ir
+open Node
+
+(* A lambda in function position of a plain let-style call (all required
+   parameters, exact arity) is Open; manifest calls with &optional/&rest
+   stay Full_closure and go through the general calling convention. *)
+let call_args_match (l : lam) (args : node list) =
+  List.length args = List.length l.l_params
+  && List.for_all (fun p -> p.p_kind = Required) l.l_params
+
+let mark_open_lambdas root =
+  iter
+    (fun n ->
+      match n.kind with
+      | Call ({ kind = Lambda l; _ }, args)
+        when l.l_strategy <> Toplevel && call_args_match l args ->
+          l.l_strategy <- Open
+      | _ -> ())
+    root
+
+(* Function-position classification: the set of Var nodes used as the
+   function of a call, with the call node itself. *)
+let fn_position_calls root =
+  let tbl = Hashtbl.create 32 in
+  iter
+    (fun n ->
+      match n.kind with
+      | Call (({ kind = Var _; _ } as f), _) -> Hashtbl.replace tbl f.n_id n
+      | _ -> ())
+    root;
+  tbl
+
+(* Jump/Fast detection: parameters of Open lambdas whose initializer is a
+   manifest lambda and whose every use is a call. *)
+let mark_local_functions root =
+  let fnpos = fn_position_calls root in
+  iter
+    (fun n ->
+      match n.kind with
+      | Call ({ kind = Lambda l; _ }, args) when l.l_strategy = Open ->
+          let rec pair ps args =
+            match (ps, args) with
+            | p :: ps', arg :: args' ->
+                (match (p.p_kind, arg.kind) with
+                | Required, Lambda inner
+                  when inner.l_strategy = Unknown && p.p_var.v_setqs = []
+                       && List.length p.p_var.v_refs > 0
+                       && List.for_all
+                            (fun r -> Hashtbl.mem fnpos r.n_id)
+                            p.p_var.v_refs ->
+                    let calls = List.map (fun r -> Hashtbl.find fnpos r.n_id) p.p_var.v_refs in
+                    let arities_ok =
+                      List.for_all
+                        (fun c ->
+                          match c.kind with
+                          | Call (_, cargs) ->
+                              List.length cargs = List.length inner.l_params
+                              && List.for_all (fun p -> p.p_kind = Required) inner.l_params
+                          | _ -> false)
+                        calls
+                    in
+                    if arities_ok then
+                      if List.for_all (fun c -> c.n_tail) calls then
+                        inner.l_strategy <- Jump
+                      else inner.l_strategy <- Fast
+                | _ -> ());
+                pair ps' args'
+            | _ -> ()
+          in
+          pair l.l_params args
+      | _ -> ())
+    root
+
+(* Everything still Unknown is a real closure. *)
+let mark_closures root =
+  iter
+    (fun n ->
+      match n.kind with
+      | Lambda l when l.l_strategy = Unknown -> l.l_strategy <- Full_closure
+      | _ -> ())
+    root
+
+(* Capture analysis: walk with the stack of open lambdas; a reference that
+   crosses a Full_closure boundary on the way up to its binder captures
+   the variable into every boundary crossed. *)
+let capture_analysis root =
+  let rec go n (stack : (node * lam) list) =
+    let note_var v =
+      if not v.v_special then
+        match v.v_binder with
+        | None -> ()
+        | Some binder ->
+            let rec scan acc = function
+              | [] -> () (* binder not on stack: freshened fragment; ignore *)
+              | (ln, l) :: rest ->
+                  if ln == binder then begin
+                    if acc <> [] then begin
+                      v.v_captured <- true;
+                      List.iter
+                        (fun bl ->
+                          if not (List.memq v bl.l_captures) then
+                            bl.l_captures <- v :: bl.l_captures)
+                        acc
+                    end
+                  end
+                  else
+                    scan (if l.l_strategy = Full_closure then l :: acc else acc) rest
+            in
+            scan [] stack
+    in
+    (match n.kind with
+    | Var v -> note_var v
+    | Setq (v, _) -> note_var v
+    | _ -> ());
+    match n.kind with
+    | Lambda l ->
+        List.iter (fun p -> Option.iter (fun d -> go d stack) p.p_default) l.l_params;
+        go l.l_body ((n, l) :: stack)
+    | _ -> List.iter (fun c -> go c stack) (children n)
+  in
+  go root []
+
+let run (root : node) : unit =
+  iter
+    (fun n ->
+      match n.kind with
+      | Lambda l ->
+          if l.l_strategy <> Toplevel then l.l_strategy <- Unknown;
+          l.l_captures <- []
+      | _ -> ())
+    root;
+  mark_open_lambdas root;
+  mark_local_functions root;
+  mark_closures root;
+  capture_analysis root

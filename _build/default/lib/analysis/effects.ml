@@ -1,0 +1,105 @@
+(** Side-effects analysis (paper Table 1).
+
+    "For each subtree, classify the possible side-effects produced by its
+    execution, and the side-effects that might adversely affect such
+    execution."
+
+    The classification is the {!Node.effects} record, computed bottom-up
+    from the primitive table.  A call to an unknown (user-defined)
+    function is assumed to do anything; a call to a known primitive gets
+    the table's classification.  A [lambda] {e expression} itself has
+    only an allocation effect (closure creation) — its body's effects
+    happen at call time, not at evaluation time. *)
+
+open S1_ir
+open Node
+module Prims = S1_frontend.Prims
+
+let unknown_effects =
+  { eff_alloc = true; eff_write = true; eff_unknown_call = true; eff_control = true;
+    eff_special = true }
+
+let rec analyze (n : node) : effects =
+  let kids = children n in
+  let merged = List.fold_left (fun acc c -> join_effects acc (analyze c)) no_effects kids in
+  let eff =
+    match n.kind with
+    | Term _ -> no_effects
+    | Var v ->
+        if v.v_special || v.v_binder = None then { no_effects with eff_special = true }
+        else no_effects
+    | Setq (v, _) ->
+        if v.v_special || v.v_binder = None then
+          join_effects merged { no_effects with eff_special = true }
+        else join_effects merged { no_effects with eff_write = true }
+    | Lambda l ->
+        (* Only defaults evaluated at binding time contribute; the body
+           runs later.  Closure creation may allocate. *)
+        let defaults_eff =
+          List.fold_left
+            (fun acc p ->
+              match p.p_default with Some d -> join_effects acc d.n_effects | None -> acc)
+            no_effects l.l_params
+        in
+        join_effects defaults_eff { no_effects with eff_alloc = true }
+    | Call (f, _) -> (
+        match f.kind with
+        | Term (S1_sexp.Sexp.Sym fname) -> (
+            match Prims.find fname with
+            | Some p ->
+                let call_eff =
+                  {
+                    eff_alloc = p.Prims.may_alloc;
+                    eff_write = not p.Prims.pure;
+                    eff_unknown_call = false;
+                    eff_control = fname = "THROW" || fname = "ERROR";
+                    eff_special = false;
+                  }
+                in
+                join_effects merged call_eff
+            | None -> join_effects merged unknown_effects)
+        | Lambda l ->
+            (* Manifest lambda call: the body executes now. *)
+            join_effects merged (analyze_body_effects l)
+        | _ -> join_effects merged unknown_effects)
+    | Go _ | Return _ -> join_effects merged { no_effects with eff_control = true }
+    | Catcher _ ->
+        (* the catch consumes control effects of its body *)
+        { merged with eff_control = false }
+    | Progbody _ ->
+        (* go/return targeting this body are internal *)
+        { merged with eff_control = false }
+    | If _ | Progn _ | Caseq _ -> merged
+  in
+  n.n_effects <- eff;
+  eff
+
+and analyze_body_effects l =
+  (* body effects already computed by the recursive walk (children of the
+     lambda include the body) *)
+  l.l_body.n_effects
+
+let run (root : node) : unit = ignore (analyze root)
+
+(* Convenience judgements used by the optimizer ------------------------------ *)
+
+(* May this expression be deleted if its value is unused?  (allocation may
+   be eliminated but not duplicated — paper §5) *)
+let deletable (n : node) =
+  let e = n.n_effects in
+  (not e.eff_write) && (not e.eff_unknown_call) && (not e.eff_control) && not e.eff_special
+
+(* May this expression be duplicated / evaluated a different number of
+   times?  Allocation must not be duplicated when the result is consed
+   into visible structure, but duplicating a fresh allocation is safe only
+   if eq-ness is not observable; we take the paper's conservative line:
+   no duplication when it allocates. *)
+let duplicable (n : node) = deletable n && not n.n_effects.eff_alloc
+
+(* May evaluation of [a] be exchanged with evaluation of [b]? *)
+let commutable (a : node) (b : node) =
+  let ea = a.n_effects and eb = b.n_effects in
+  let pure_enough e =
+    (not e.eff_write) && (not e.eff_unknown_call) && (not e.eff_control) && not e.eff_special
+  in
+  pure_enough ea || pure_enough eb

@@ -1,0 +1,40 @@
+(** Environment analysis (paper Table 1).
+
+    "For each subtree, determine the sets of variables read and written
+    within that subtree.  For each variable binding, attach a list of all
+    referent nodes."
+
+    Fills [n_free] (variables read) and [n_written] (variables assigned)
+    bottom-up, and rebuilds every variable's back-pointer lists
+    ([v_refs], [v_setqs], [v_binder]). *)
+
+open S1_ir
+open Node
+
+let union a b = List.fold_left (fun acc v -> if List.memq v acc then acc else v :: acc) a b
+let remove vs a = List.filter (fun v -> not (List.memq v vs)) a
+
+let rec analyze (n : node) : unit =
+  List.iter analyze (children n);
+  let free_of c = c.n_free and written_of c = c.n_written in
+  let merge f = List.fold_left (fun acc c -> union acc (f c)) [] (children n) in
+  let free = merge free_of and written = merge written_of in
+  (match n.kind with
+  | Var v ->
+      n.n_free <- [ v ];
+      n.n_written <- []
+  | Setq (v, _) ->
+      n.n_free <- free;
+      n.n_written <- union [ v ] written
+  | Lambda l ->
+      let bound = List.map (fun p -> p.p_var) l.l_params in
+      n.n_free <- remove bound free;
+      n.n_written <- remove bound written
+  | _ ->
+      n.n_free <- free;
+      n.n_written <- written);
+  n.n_dirty <- false
+
+let run (root : node) : unit =
+  record_var_backrefs root;
+  analyze root

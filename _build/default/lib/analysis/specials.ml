@@ -1,0 +1,87 @@
+(** Special-variable lookup placement (paper §4.4, "Special variable
+    lookups").
+
+    With deep binding, accessing a special variable requires a linear
+    search of the binding stack.  The compiler uses the INTERLISP trick:
+    look each special up {e once}, cache a pointer to its value cell in
+    the activation frame, and go through the cached pointer thereafter.
+    The S-1 compiler generalizes the trick: "for each variable the
+    smallest subtree that contains all the references is determined; the
+    lookup and pointer caching for that variable is performed before
+    execution of that smallest subtree."
+
+    This phase computes, for every function (Toplevel / Full_closure
+    lambda), the set of special variables referenced in its body together
+    with the least-common-ancestor node of all references.  The code
+    generator caches at function entry when the LCA is the body itself,
+    and at the LCA when the LCA sits under a conditional arm — "this may
+    avoid a lookup if the subtree is in an arm of a conditional." *)
+
+open S1_ir
+open Node
+
+type placement = {
+  sp_var : var;  (** the special variable *)
+  sp_lca : node;  (** smallest subtree containing all its references *)
+  sp_count : int;  (** number of references *)
+  sp_at_entry : bool;  (** LCA is the whole function body *)
+}
+
+(* Collect paths (root .. node) to every reference of each special
+   variable within one function body, without descending into inner
+   closures (they do their own caching). *)
+let placements_for_body (body : node) : placement list =
+  let paths : (int, node list list) Hashtbl.t = Hashtbl.create 8 in
+  let vars : (int, var) Hashtbl.t = Hashtbl.create 8 in
+  let rec walk n path =
+    let path = n :: path in
+    (match n.kind with
+    | Var v when v.v_special || v.v_binder = None ->
+        Hashtbl.replace vars v.v_id v;
+        Hashtbl.replace paths v.v_id
+          (List.rev path :: (try Hashtbl.find paths v.v_id with Not_found -> []))
+    | Setq (v, _) when v.v_special || v.v_binder = None ->
+        Hashtbl.replace vars v.v_id v;
+        Hashtbl.replace paths v.v_id
+          (List.rev path :: (try Hashtbl.find paths v.v_id with Not_found -> []))
+    | _ -> ());
+    match n.kind with
+    | Lambda l when l.l_strategy = Full_closure || l.l_strategy = Toplevel ->
+        (* inner real functions cache for themselves *)
+        List.iter (fun p -> Option.iter (fun d -> walk d path) p.p_default) l.l_params
+    | _ -> List.iter (fun c -> walk c path) (children n)
+  in
+  walk body [];
+  let lca_of_paths ps =
+    match ps with
+    | [] -> body
+    | first :: rest ->
+        let common_prefix a b =
+          let rec go a b acc =
+            match (a, b) with
+            | x :: a', y :: b' when x == y -> go a' b' (x :: acc)
+            | _ -> List.rev acc
+          in
+          go a b []
+        in
+        let prefix = List.fold_left common_prefix first rest in
+        (match List.rev prefix with last :: _ -> last | [] -> body)
+  in
+  Hashtbl.fold
+    (fun vid ps acc ->
+      let v = Hashtbl.find vars vid in
+      let lca = lca_of_paths ps in
+      { sp_var = v; sp_lca = lca; sp_count = List.length ps; sp_at_entry = lca == body } :: acc)
+    paths []
+
+(* Per-function placements across a whole tree. *)
+let run (root : node) : (lam * placement list) list =
+  let out = ref [] in
+  iter
+    (fun n ->
+      match n.kind with
+      | Lambda l when l.l_strategy = Toplevel || l.l_strategy = Full_closure ->
+          out := (l, placements_for_body l.l_body) :: !out
+      | _ -> ())
+    root;
+  !out

@@ -1,0 +1,1 @@
+lib/codegen/gen.ml: Array Buffer Float Format Hashtbl List Node Peephole Printf S1_frontend S1_ir S1_machine S1_runtime S1_sexp S1_tnbind

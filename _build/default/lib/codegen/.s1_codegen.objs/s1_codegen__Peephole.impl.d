@@ -1,0 +1,1 @@
+lib/codegen/peephole.ml: Hashtbl List S1_machine

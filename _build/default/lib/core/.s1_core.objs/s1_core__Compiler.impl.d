@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Fun Hashtbl List Node Obj Rt S1_codegen S1_frontend S1_interp S1_ir S1_machine S1_rep S1_runtime S1_sexp S1_transform

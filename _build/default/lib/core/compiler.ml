@@ -1,0 +1,231 @@
+(** The compiler driver: the paper's Table 1 phase structure.
+
+    {v
+    Preliminary            syntax, macro expansion, conversion to tree
+    Source analysis        environment / side-effects / complexity / tail-recursion
+    Source optimization    the §5 transformations, to fixpoint with re-analysis
+    Binding annotation     Open / Jump / Fast / closure; stack vs heap variables
+    Special lookups        deep-binding cache placement
+    Representation         WANTREP / ISREP (§6.2)
+    Pdl numbers            stack allocation of number boxes (§6.3)
+    Target annotation      TNBIND register allocation (§6.1)
+    Code generation        single postorder walk emitting S-1 assembly
+    Load                   assemble into the live world, build function objects
+    v}
+
+    Compilation happens {e into a live Lisp world} (as on the real
+    system): quoted constants intern immediately, and compiled functions
+    install into symbol function cells, callable from compiled and
+    interpreted code alike. *)
+
+module Sexp = S1_sexp.Sexp
+module Cpu = S1_machine.Cpu
+module Mem = S1_machine.Mem
+module Asm = S1_machine.Asm
+open S1_runtime
+open S1_ir
+module Convert = S1_frontend.Convert
+module Simplify = S1_transform.Simplify
+module Rules = S1_transform.Rules
+module Transcript = S1_transform.Transcript
+module Gen = S1_codegen.Gen
+
+(** The paper's Table 1, as data (experiment T1). *)
+let phases =
+  [
+    "Preliminary: syntax checking, macro expansion, conversion to internal tree";
+    "Source-program analysis: environment analysis";
+    "Source-program analysis: side-effects analysis";
+    "Source-program analysis: complexity analysis";
+    "Source-program analysis: tail-recursion analysis";
+    "Source-level optimization (with incremental re-analysis)";
+    "Machine-dependent annotation: special variable lookups";
+    "Machine-dependent annotation: binding annotation";
+    "Machine-dependent annotation: representation annotation";
+    "Machine-dependent annotation: pdl number annotation";
+    "Machine-dependent annotation: target annotation (TNBIND and packing)";
+    "Code generation (single pass, forwards order)";
+  ]
+
+type t = {
+  rt : Rt.t;
+  it : S1_interp.Interp.t;  (** interpreter sharing the same world *)
+  mutable options : Gen.options;
+  mutable rules : Rules.config;
+  mutable cse : bool;
+      (** run the optional common-subexpression-elimination phase (the
+          paper's §4.3, off in the shipped compiler) *)
+  mutable keep_transcript : bool;
+  mutable last_transcript : Transcript.t option;
+  mutable last_listing : string option;
+  mutable last_tn_report : string option;
+  macros : (string, int) Hashtbl.t;
+      (** DEFMACRO expanders: macro name -> compiled function word *)
+}
+
+let create ?config ?(options = Gen.default_options) ?(rules = Rules.default_config)
+    ?(cse = false) () =
+  let it = S1_interp.Interp.boot ?config () in
+  {
+    rt = it.S1_interp.Interp.rt;
+    it;
+    options;
+    rules;
+    cse;
+    keep_transcript = false;
+    last_transcript = None;
+    last_listing = None;
+    last_tn_report = None;
+    macros = Hashtbl.create 8;
+  }
+
+let world_of (c : t) : Gen.world =
+  let rt = c.rt in
+  {
+    Gen.nil_word = rt.Rt.nil;
+    t_word = rt.Rt.t_;
+    const_word = (fun s -> Rt.sexp_to_value ~where:`Static rt s);
+    symbol_word = (fun name -> Rt.intern rt name);
+    function_cell = (fun name -> Obj.symbol_function_cell rt.Rt.obj (Rt.intern rt name));
+    value_cell = (fun name -> Obj.symbol_value_cell rt.Rt.obj (Rt.intern rt name));
+    alloc_cell = (fun () -> Mem.alloc_static rt.Rt.mem 1);
+  }
+
+(* The macro lookup handed to the front end: an expander applies the
+   compiled macro function to the {e unevaluated} argument forms (as
+   values) and reads the resulting form back. *)
+let macros_pred (c : t) name =
+  match Hashtbl.find_opt c.macros name with
+  | None -> None
+  | Some fobj ->
+      Some
+        (fun (args : Sexp.t list) ->
+          let argv = List.map (fun a -> Rt.sexp_to_value c.rt a) args in
+          let result = Rt.with_protected c.rt argv (fun () -> Rt.call c.rt fobj argv) in
+          Rt.value_to_sexp c.rt result)
+
+let specials_pred (c : t) name =
+  match Rt.find_symbol c.rt name with
+  | Some sym when sym <> c.rt.Rt.nil && sym <> c.rt.Rt.t_ ->
+      Obj.symbol_is_special c.rt.Rt.obj sym
+  | _ -> false
+
+(* Run the full machine-independent and machine-dependent pipeline on a
+   converted lambda node. *)
+let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
+  let ts = Transcript.create ~enabled:c.keep_transcript () in
+  ignore (Simplify.run ~config:c.rules ~transcript:ts lam_node);
+  (* CSE is a separate phase after the source-level optimizer, exactly to
+     avoid the introduction/elimination thrashing the paper describes. *)
+  if c.cse then ignore (S1_transform.Cse.run ~transcript:ts lam_node);
+  (* Simplify/CSE leave the tree analyzed (including binding annotation). *)
+  S1_rep.Repan.run lam_node;
+  S1_rep.Pdlnum.run lam_node;
+  ts
+
+(* Compile a lambda node and install it into the world.  Returns the
+   function word. *)
+let load_lambda (c : t) ~name (lam_node : Node.node) : int =
+  let ts = run_phases c lam_node in
+  if c.keep_transcript then c.last_transcript <- Some ts;
+  let compiled = Gen.compile_function (world_of c) ~options:c.options ~name lam_node in
+  if c.keep_transcript then begin
+    c.last_listing <- Some (Asm.listing compiled.Gen.c_prog);
+    c.last_tn_report <- Some compiled.Gen.c_tn_report
+  end;
+  let image = Cpu.load c.rt.Rt.cpu compiled.Gen.c_prog in
+  let entry = Cpu.label_addr image compiled.Gen.c_entry in
+  let name_sym = Rt.intern c.rt name in
+  let fobj =
+    Obj.code ~where:`Static c.rt.Rt.obj ~entry ~name:name_sym
+      ~min_args:compiled.Gen.c_min_args ~max_args:compiled.Gen.c_max_args
+  in
+  (* nested closures: build their code objects and patch the cells *)
+  List.iter
+    (fun (entry_label, cell, cname, cmin, cmax) ->
+      let centry = Cpu.label_addr image entry_label in
+      let csym = Rt.intern c.rt cname in
+      let cobj =
+        Obj.code ~where:`Static c.rt.Rt.obj ~entry:centry ~name:csym ~min_args:cmin
+          ~max_args:cmax
+      in
+      Mem.write c.rt.Rt.mem cell cobj)
+    compiled.Gen.c_fixups;
+  fobj
+
+(* Top-level form processing -------------------------------------------------- *)
+
+let compile_defun (c : t) (form : Sexp.t) : string =
+  let name, lam_node =
+    Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) form
+  in
+  let fobj = load_lambda c ~name lam_node in
+  Rt.set_function c.rt (Rt.intern c.rt name) fobj;
+  name
+
+let compile_expression (c : t) (form : Sexp.t) : int =
+  (* wrap in a nullary function, compile, call *)
+  let expr = Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c) form in
+  let lam_node = Node.lambda ~name:"%TOPLEVEL" [] expr in
+  (match lam_node.Node.kind with
+  | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
+  | _ -> ());
+  let fobj = load_lambda c ~name:"%TOPLEVEL" lam_node in
+  Rt.call c.rt fobj []
+
+let eval (c : t) (form : Sexp.t) : int =
+  match form with
+  | Sexp.List (Sexp.Sym "DEFUN" :: Sexp.Sym _ :: _) ->
+      Rt.intern c.rt (compile_defun c form)
+  | Sexp.List (Sexp.Sym "DEFMACRO" :: Sexp.Sym name :: Sexp.List params :: body) ->
+      (* compile the expander as an anonymous function over the raw forms *)
+      let expander_form =
+        Sexp.List
+          (Sexp.Sym "DEFUN" :: Sexp.Sym ("%MACRO-" ^ name) :: Sexp.List params :: body)
+      in
+      let mname, lam_node =
+        Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) expander_form
+      in
+      let fobj = load_lambda c ~name:mname lam_node in
+      Hashtbl.replace c.macros name fobj;
+      Rt.intern c.rt name
+  | Sexp.List [ Sexp.Sym "DEFVAR"; Sexp.Sym name; init ] ->
+      let sym = Rt.intern c.rt name in
+      Rt.proclaim_special c.rt sym;
+      let v = compile_expression c init in
+      Rt.set_symbol_value_dynamic c.rt sym v;
+      sym
+  | Sexp.List [ Sexp.Sym "PROCLAIM"; Sexp.List [ Sexp.Sym "QUOTE"; Sexp.List (Sexp.Sym "SPECIAL" :: names) ] ] ->
+      List.iter
+        (function
+          | Sexp.Sym n -> Rt.proclaim_special c.rt (Rt.intern c.rt n)
+          | _ -> ())
+        names;
+      c.rt.Rt.nil
+  | _ -> compile_expression c form
+
+let eval_string (c : t) (src : string) : int =
+  let forms = S1_sexp.Reader.parse_string src in
+  List.fold_left (fun _ f -> eval c f) c.rt.Rt.nil forms
+
+(* Introspection --------------------------------------------------------------- *)
+
+let listing_of (c : t) (form : Sexp.t) : string * Transcript.t =
+  let saved = c.keep_transcript in
+  c.keep_transcript <- true;
+  Fun.protect
+    ~finally:(fun () -> c.keep_transcript <- saved)
+    (fun () ->
+      (match form with
+      | Sexp.List (Sexp.Sym "DEFUN" :: _) -> ignore (compile_defun c form)
+      | _ ->
+          let expr = Convert.expression ~specials:(specials_pred c) form in
+          let lam_node = Node.lambda ~name:"%LISTING" [] expr in
+          (match lam_node.Node.kind with
+          | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
+          | _ -> ());
+          ignore (load_lambda c ~name:"%LISTING" lam_node));
+      ( (match c.last_listing with Some l -> l | None -> ""),
+        match c.last_transcript with Some t -> t | None -> Transcript.create () ))
+
+let print_value (c : t) w = Rt.print_value c.rt w

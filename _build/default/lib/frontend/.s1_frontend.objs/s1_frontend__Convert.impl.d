@@ -1,0 +1,1 @@
+lib/frontend/convert.ml: Hashtbl List Macroexp Node Option Printf S1_ir S1_sexp

@@ -1,0 +1,1 @@
+lib/frontend/macroexp.ml: Fun List Option Printf S1_sexp String

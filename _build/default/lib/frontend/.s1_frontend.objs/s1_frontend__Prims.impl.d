@@ -1,0 +1,1 @@
+lib/frontend/prims.ml: Hashtbl List Node Option S1_ir S1_machine S1_runtime S1_sexp

@@ -1,0 +1,292 @@
+(** Macro expansion: rewrite all surface constructs into the small basic
+    set of Table 2 ("All other program constructs are expanded as macros
+    or otherwise re-expressed in terms of the small basic set", §4.1).
+
+    Core forms left for {!Convert}: [QUOTE], [IF], [LAMBDA], [PROGN],
+    [SETQ], [CASEQ], [CATCH], [%PROGBODY], [GO], [RETURN], [FUNCTION],
+    [DECLARE], plus calls.
+
+    [LET] becomes a call to a manifest lambda-expression; [COND] becomes
+    nested [IF]s; [AND]/[OR] become [IF]s, using the lambda trick of
+    paper §5 to avoid evaluating an operand twice; [PROG]/[DO] and
+    friends build [%PROGBODY] loops. *)
+
+module Sexp = S1_sexp.Sexp
+
+exception Expansion_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Expansion_error s)) fmt
+
+(* User-defined macros (DEFMACRO): a lookup from macro name to an
+   expander over the raw argument forms.  Installed for the extent of an
+   expansion via {!with_macros}; the expander itself is typically a
+   compiled Lisp function called through the runtime. *)
+let current_macros : (string -> (Sexp.t list -> Sexp.t) option) ref = ref (fun _ -> None)
+
+let with_macros macros f =
+  let saved = !current_macros in
+  current_macros := macros;
+  Fun.protect ~finally:(fun () -> current_macros := saved) f
+
+let gensym_counter = ref 0
+
+let gensym prefix =
+  incr gensym_counter;
+  Printf.sprintf "%%%s-%d" prefix !gensym_counter
+
+let sym s = Sexp.Sym s
+let list l = Sexp.List l
+
+(* Does this form look effect-free enough to duplicate?  Used only to make
+   AND/OR expansions readable when safe; the general case uses the lambda
+   trick. *)
+let trivially_pure = function
+  | Sexp.Sym _ | Sexp.Int _ | Sexp.Big _ | Sexp.Ratio _ | Sexp.Float _ | Sexp.Str _
+  | Sexp.Char _ ->
+      true
+  | Sexp.List [ Sexp.Sym "QUOTE"; _ ] -> true
+  | _ -> false
+
+let rec expand (s : Sexp.t) : Sexp.t =
+  match s with
+  | Sexp.List (Sexp.Sym head :: rest) -> expand_form head rest s
+  | Sexp.List (f :: args) -> list (expand f :: List.map expand args)
+  | _ -> s
+
+and expand_body body =
+  (* A body is an implicit PROGN; leading DECLARE forms stay in front. *)
+  let declares, stmts =
+    let rec split acc = function
+      | (Sexp.List (Sexp.Sym "DECLARE" :: _) as d) :: rest -> split (d :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    split [] body
+  in
+  let stmts = List.map expand stmts in
+  let progn =
+    match stmts with [] -> Sexp.nil | [ x ] -> x | xs -> list (sym "PROGN" :: xs)
+  in
+  match declares with [] -> progn | ds -> list ((sym "%DECLARE-BODY" :: ds) @ [ progn ])
+
+and expand_form head rest original =
+  match (head, rest) with
+  | "QUOTE", [ _ ] -> original
+  | "FUNCTION", [ _ ] -> original
+  | "IF", [ p; x ] -> list [ sym "IF"; expand p; expand x; Sexp.nil ]
+  | "IF", [ p; x; y ] -> list [ sym "IF"; expand p; expand x; expand y ]
+  | "IF", _ -> err "malformed IF"
+  | "PROGN", xs -> (match xs with [] -> Sexp.nil | _ -> list (sym "PROGN" :: List.map expand xs))
+  | "SETQ", [ Sexp.Sym v; e ] -> list [ sym "SETQ"; sym v; expand e ]
+  | "SETQ", _ ->
+      (* (setq a 1 b 2 ...) pairs up *)
+      let rec pairs = function
+        | [] -> []
+        | Sexp.Sym v :: e :: rest -> list [ sym "SETQ"; sym v; expand e ] :: pairs rest
+        | _ -> err "malformed SETQ"
+      in
+      (match pairs rest with [ one ] -> one | many -> list (sym "PROGN" :: many))
+  | "LAMBDA", (Sexp.List _ :: _ :: _) -> expand_lambda rest
+  | "CATCH", (tag :: body) -> list [ sym "CATCH"; expand tag; expand_body body ]
+  | "THROW", [ tag; v ] -> list [ sym "THROW"; expand tag; expand v ]
+  | "CASEQ", (key :: clauses) | "CASE", (key :: clauses) ->
+      list (sym "CASEQ" :: expand key :: List.map expand_caseq_clause clauses)
+  | "GO", [ Sexp.Sym _ ] -> original
+  | "RETURN", [] -> list [ sym "RETURN"; Sexp.nil ]
+  | "RETURN", [ e ] -> list [ sym "RETURN"; expand e ]
+  | "DECLARE", _ -> original
+  | "%PROGBODY", items ->
+      list
+        (sym "%PROGBODY"
+        :: List.map (function Sexp.Sym _ as tag -> tag | stmt -> expand stmt) items)
+  (* --- macros proper --- *)
+  | "LET", (Sexp.List bindings :: body) ->
+      let names, inits = List.split (List.map binding_pair bindings) in
+      list
+        (list [ sym "LAMBDA"; list (List.map sym names); expand_body body ]
+        :: List.map expand inits)
+  | "LET*", (Sexp.List bindings :: body) -> (
+      match bindings with
+      | [] -> expand_body body
+      | b :: more ->
+          let name, init = binding_pair b in
+          list
+            [
+              list
+                [ sym "LAMBDA"; list [ sym name ];
+                  expand (list (sym "LET*" :: Sexp.List more :: body)) ];
+              expand init;
+            ])
+  | "COND", clauses -> expand_cond clauses
+  | "AND", [] -> sym "T"
+  | "AND", [ x ] -> expand x
+  | "AND", (x :: rest) -> list [ sym "IF"; expand x; expand (list (sym "AND" :: rest)); Sexp.nil ]
+  | "OR", [] -> Sexp.nil
+  | "OR", [ x ] -> expand x
+  | "OR", (x :: rest) ->
+      let rest_form = expand (list (sym "OR" :: rest)) in
+      let x = expand x in
+      if trivially_pure x then list [ sym "IF"; x; x; rest_form ]
+      else begin
+        (* ((lambda (v f) (if v v (f))) x (lambda () rest)) — paper §5 *)
+        let v = gensym "V" and f = gensym "F" in
+        list
+          [
+            list
+              [ sym "LAMBDA"; list [ sym v; sym f ];
+                list [ sym "IF"; sym v; sym v; list [ sym f ] ] ];
+            x;
+            list [ sym "LAMBDA"; list []; rest_form ];
+          ]
+      end
+  | "WHEN", (p :: body) -> list [ sym "IF"; expand p; expand_body body; Sexp.nil ]
+  | "UNLESS", (p :: body) -> list [ sym "IF"; expand p; Sexp.nil; expand_body body ]
+  | "PROG", (Sexp.List bindings :: items) ->
+      (* (prog (v...) tag|stmt...) => ((lambda (v...) (%progbody ...)) nil...) *)
+      let names, inits = List.split (List.map binding_pair bindings) in
+      let items =
+        List.map (function Sexp.Sym _ as t -> t | stmt -> expand stmt) items
+      in
+      list
+        (list [ sym "LAMBDA"; list (List.map sym names); list (sym "%PROGBODY" :: items) ]
+        :: List.map expand inits)
+  | "DO", (Sexp.List specs :: Sexp.List (endtest :: result) :: body) ->
+      expand_do specs endtest result body
+  | "DOTIMES", (Sexp.List [ Sexp.Sym v; count ] :: body) ->
+      let n = gensym "COUNT" in
+      expand
+        (list
+           [
+             sym "DO";
+             list
+               [ list [ sym v; Sexp.Int 0; list [ sym "1+"; sym v ] ];
+                 list [ sym n; count ] ];
+             list [ list [ sym ">="; sym v; sym n ]; Sexp.nil ];
+             list (sym "PROGN" :: body);
+           ])
+  | "DOLIST", (Sexp.List [ Sexp.Sym v; lst ] :: body) ->
+      let tail = gensym "TAIL" in
+      expand
+        (list
+           [
+             sym "DO";
+             list [ list [ sym tail; lst; list [ sym "CDR"; sym tail ] ] ];
+             list [ list [ sym "NULL"; sym tail ]; Sexp.nil ];
+             list [ sym "LET"; list [ list [ sym v; list [ sym "CAR"; sym tail ] ] ];
+                    list (sym "PROGN" :: body) ];
+           ])
+  | "PUSH", [ e; Sexp.Sym v ] ->
+      expand (list [ sym "SETQ"; sym v; list [ sym "CONS"; e; sym v ] ])
+  | "POP", [ Sexp.Sym v ] ->
+      let tmp = gensym "TOP" in
+      expand
+        (list
+           [ sym "LET"; list [ list [ sym tmp; list [ sym "CAR"; sym v ] ] ];
+             list [ sym "PROGN"; list [ sym "SETQ"; sym v; list [ sym "CDR"; sym v ] ];
+                    sym tmp ] ])
+  | "INCF", [ Sexp.Sym v ] -> expand (list [ sym "SETQ"; sym v; list [ sym "1+"; sym v ] ])
+  | "DECF", [ Sexp.Sym v ] -> expand (list [ sym "SETQ"; sym v; list [ sym "1-"; sym v ] ])
+  | "QUASIQUOTE", [ template ] -> expand (expand_quasiquote template)
+  | "UNQUOTE", _ | "UNQUOTE-SPLICING", _ -> err "comma outside backquote"
+  | "DEFUN", _ -> err "DEFUN is only legal at top level"
+  | _, args -> (
+      match !current_macros head with
+      | Some expander -> expand (expander args)
+      | None -> list (sym head :: List.map expand args))
+
+and binding_pair = function
+  | Sexp.Sym v -> (v, Sexp.nil)
+  | Sexp.List [ Sexp.Sym v ] -> (v, Sexp.nil)
+  | Sexp.List [ Sexp.Sym v; init ] -> (v, init)
+  | other -> err "malformed binding: %s" (Sexp.to_string other)
+
+and expand_lambda rest =
+  match rest with
+  | Sexp.List params :: body -> list [ sym "LAMBDA"; Sexp.List (expand_params params); expand_body body ]
+  | _ -> err "malformed LAMBDA"
+
+and expand_params params =
+  (* Expand default expressions inside the lambda list. *)
+  List.map
+    (function
+      | Sexp.List [ name; default ] -> Sexp.List [ name; expand default ]
+      | p -> p)
+    params
+
+and expand_cond = function
+  | [] -> Sexp.nil
+  | Sexp.List [ Sexp.Sym "T" ] :: _ -> sym "T"
+  | Sexp.List (Sexp.Sym "T" :: body) :: _ -> expand_body body
+  | Sexp.List [ test ] :: rest ->
+      (* (cond (x) ...) returns x when true: OR-style *)
+      expand (list [ sym "OR"; test; list (sym "COND" :: rest) ])
+  | Sexp.List (test :: body) :: rest ->
+      list [ sym "IF"; expand test; expand_body body; expand_cond rest ]
+  | other :: _ -> err "malformed COND clause: %s" (Sexp.to_string other)
+
+and expand_caseq_clause = function
+  | Sexp.List (Sexp.Sym "T" :: body) | Sexp.List (Sexp.Sym "OTHERWISE" :: body) ->
+      list [ sym "T"; expand_body body ]
+  | Sexp.List (Sexp.List keys :: body) -> list [ Sexp.List keys; expand_body body ]
+  | Sexp.List ((Sexp.Sym _ as key) :: body) | Sexp.List ((Sexp.Int _ as key) :: body) ->
+      list [ list [ key ]; expand_body body ]
+  | other -> err "malformed CASEQ clause: %s" (Sexp.to_string other)
+
+and expand_do specs endtest result body =
+  (* (do ((v init step)...) (end result...) body...)
+     => (prog (v...) (%setq-inits) LOOP (if end (return result))
+              body... (psetq steps) (go LOOP)) *)
+  let parse_spec = function
+    | Sexp.List [ Sexp.Sym v; init; step ] -> (v, init, Some step)
+    | Sexp.List [ Sexp.Sym v; init ] -> (v, init, None)
+    | Sexp.Sym v -> (v, Sexp.nil, None)
+    | other -> err "malformed DO spec: %s" (Sexp.to_string other)
+  in
+  let specs = List.map parse_spec specs in
+  let loop = String.uppercase_ascii (gensym "LOOP") in
+  let result_form =
+    match result with [] -> Sexp.nil | [ r ] -> r | rs -> list (sym "PROGN" :: rs)
+  in
+  (* Parallel stepping via temporaries. *)
+  let steppers = List.filter_map (fun (v, _, s) -> Option.map (fun s -> (v, s)) s) specs in
+  let temps = List.map (fun (v, s) -> (v, gensym "STEP", s)) steppers in
+  let step_forms =
+    List.map (fun (_, t, s) -> list [ sym "SETQ"; sym t; s ]) temps
+    @ List.map (fun (v, t, _) -> list [ sym "SETQ"; sym v; sym t ]) temps
+  in
+  let bindings =
+    List.map (fun (v, init, _) -> list [ sym v; init ]) specs
+    @ List.map (fun (_, t, _) -> list [ sym t; Sexp.nil ]) temps
+  in
+  expand
+    (list
+       ([ sym "PROG"; Sexp.List bindings; Sexp.Sym loop;
+          list [ sym "IF"; endtest; list [ sym "RETURN"; result_form ] ] ]
+       @ body @ step_forms
+       @ [ list [ sym "GO"; Sexp.Sym loop ] ]))
+
+and expand_quasiquote template =
+  (* Standard expansion into LIST/CONS/APPEND calls. *)
+  match template with
+  | Sexp.List [ Sexp.Sym "UNQUOTE"; e ] -> e
+  | Sexp.List [ Sexp.Sym "UNQUOTE-SPLICING"; _ ] -> err ",@ not inside a list"
+  | Sexp.List items ->
+      let parts =
+        List.map
+          (function
+            | Sexp.List [ Sexp.Sym "UNQUOTE-SPLICING"; e ] -> `Splice e
+            | item -> `Single (expand_quasiquote item))
+          items
+      in
+      let rec build = function
+        | [] -> Sexp.quote Sexp.nil
+        | `Splice e :: rest -> list [ sym "APPEND"; e; build rest ]
+        | `Single e :: rest -> list [ sym "CONS"; e; build rest ]
+      in
+      build parts
+  | Sexp.Dotted (items, tail) ->
+      let rec build = function
+        | [] -> expand_quasiquote tail
+        | item :: rest -> list [ sym "CONS"; expand_quasiquote item; build rest ]
+      in
+      build items
+  | atom -> Sexp.quote atom

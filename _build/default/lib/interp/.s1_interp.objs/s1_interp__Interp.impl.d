@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Builtins Fun Hashtbl Heap List Node Obj Printf Rt S1_frontend S1_ir S1_machine S1_runtime S1_sexp

@@ -1,0 +1,1 @@
+lib/ir/backtrans.ml: List Node Printf S1_sexp

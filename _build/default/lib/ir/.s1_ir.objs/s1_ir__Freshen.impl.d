@@ -1,0 +1,1 @@
+lib/ir/freshen.ml: Hashtbl List Node Option Printf

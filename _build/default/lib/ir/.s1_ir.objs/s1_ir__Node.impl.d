@@ -1,0 +1,1 @@
+lib/ir/node.ml: List Option S1_sexp

@@ -1,0 +1,81 @@
+(** Back-translation of the internal tree into valid source code.
+
+    "The internal tree can always be back-translated into valid source
+    code, equivalent to, though not necessarily identical to, the
+    original source.  (Such a back-translation facility has been written
+    as a debugging aid for the compiler writers.)" — paper §4.1.  The
+    optimizer transcript and several tests are built on this facility.
+
+    Following the paper's own printer, quote-forms around self-evaluating
+    constants (numbers, strings, characters, T and NIL) are omitted for
+    readability. *)
+
+module Sexp = S1_sexp.Sexp
+open Node
+
+let self_evaluating (s : Sexp.t) =
+  match s with
+  | Sexp.Int _ | Sexp.Big _ | Sexp.Ratio _ | Sexp.Float _ | Sexp.Str _ | Sexp.Char _ -> true
+  | Sexp.Sym ("T" | "NIL") -> true
+  | Sexp.List [] -> true
+  | _ -> false
+
+(* Distinct variables may share a source name; when [ids] is set, names
+   are suffixed with the variable id so the output is unambiguous. *)
+let var_name ~ids v = if ids then Printf.sprintf "%s#%d" v.v_name v.v_id else v.v_name
+
+let rec to_sexp ?(ids = false) (n : node) : Sexp.t =
+  let go = to_sexp ~ids in
+  match n.kind with
+  | Term s -> if self_evaluating s then s else Sexp.quote s
+  | Var v -> Sexp.Sym (var_name ~ids v)
+  | If (p, x, y) -> Sexp.List [ Sexp.Sym "IF"; go p; go x; go y ]
+  | Lambda l -> lambda_sexp ~ids l
+  | Call ({ kind = Term (Sexp.Sym fname); _ }, args) ->
+      (* A symbol constant in function position denotes the global
+         function of that name; print it bare. *)
+      Sexp.List (Sexp.Sym fname :: List.map go args)
+  | Call (f, args) -> Sexp.List (go f :: List.map go args)
+  | Progn xs -> Sexp.List (Sexp.Sym "PROGN" :: List.map go xs)
+  | Setq (v, e) -> Sexp.List [ Sexp.Sym "SETQ"; Sexp.Sym (var_name ~ids v); go e ]
+  | Caseq (key, clauses, default) ->
+      Sexp.List
+        (Sexp.Sym "CASEQ" :: go key
+        :: (List.map
+              (fun (keys, body) -> Sexp.List [ Sexp.List keys; go body ])
+              clauses
+           @
+           match default with
+           | Some d -> [ Sexp.List [ Sexp.Sym "T"; go d ] ]
+           | None -> []))
+  | Catcher (tag, body) -> Sexp.List [ Sexp.Sym "CATCH"; go tag; go body ]
+  | Progbody pb ->
+      Sexp.List
+        (Sexp.Sym "PROGBODY"
+        :: List.map (function Ptag t -> Sexp.Sym t | Pstmt s -> go s) pb.pb_items)
+  | Go tag -> Sexp.List [ Sexp.Sym "GO"; Sexp.Sym tag ]
+  | Return e -> Sexp.List [ Sexp.Sym "RETURN"; go e ]
+
+and lambda_sexp ~ids l =
+  let params = ref [] in
+  let seen_optional = ref false and seen_rest = ref false in
+  List.iter
+    (fun p ->
+      let name = Sexp.Sym (var_name ~ids p.p_var) in
+      (match (p.p_kind, !seen_optional, !seen_rest) with
+      | Required, _, _ -> ()
+      | Optional, false, _ ->
+          seen_optional := true;
+          params := Sexp.Sym "&OPTIONAL" :: !params
+      | Rest, _, false ->
+          seen_rest := true;
+          params := Sexp.Sym "&REST" :: !params
+      | _ -> ());
+      match (p.p_kind, p.p_default) with
+      | Optional, Some d -> params := Sexp.List [ name; to_sexp ~ids d ] :: !params
+      | _ -> params := name :: !params)
+    l.l_params;
+  Sexp.List [ Sexp.Sym "LAMBDA"; Sexp.List (List.rev !params); to_sexp ~ids l.l_body ]
+
+let to_string ?ids n = Sexp.to_string (to_sexp ?ids n)
+let pp fmt n = Sexp.pp fmt (to_sexp n)

@@ -1,0 +1,283 @@
+(** The compiler's internal tree.
+
+    Each node corresponds to one of the small set of source-level
+    constructs of the paper's Table 2 — term (quoted constant), variable,
+    caseq, catcher, go, if, lambda, progbody, progn, return, setq, call —
+    so the tree can always be back-translated into valid source code
+    ({!Backtrans}).  "Each node of the tree has extra data slots; these
+    are filled in by successive phases of the compiler" (§4): the
+    mutable decoration fields below, all initialized empty and owned by
+    the phase named in their comment.
+
+    There is no central symbol table (paper §4.1): each distinct variable
+    is a {!var} record carrying back-pointers to its binder and to every
+    reference and assignment. *)
+
+module Sexp = S1_sexp.Sexp
+
+(** Internal value representations (the paper's Table 3). *)
+type rep =
+  | SWFIX  (** 36-bit raw integer *)
+  | DWFIX  (** 72-bit raw integer *)
+  | HWFLO
+  | SWFLO
+  | DWFLO
+  | TWFLO
+  | HWCPLX
+  | SWCPLX
+  | DWCPLX
+  | TWCPLX
+  | POINTER  (** Lisp pointer *)
+  | BIT  (** 1-bit integer *)
+  | JUMP  (** value delivered as a conditional jump *)
+  | NONE  (** value not used *)
+
+let rep_name = function
+  | SWFIX -> "SWFIX"
+  | DWFIX -> "DWFIX"
+  | HWFLO -> "HWFLO"
+  | SWFLO -> "SWFLO"
+  | DWFLO -> "DWFLO"
+  | TWFLO -> "TWFLO"
+  | HWCPLX -> "HWCPLX"
+  | SWCPLX -> "SWCPLX"
+  | DWCPLX -> "DWCPLX"
+  | TWCPLX -> "TWCPLX"
+  | POINTER -> "POINTER"
+  | BIT -> "BIT"
+  | JUMP -> "JUMP"
+  | NONE -> "NONE"
+
+let all_reps =
+  [ SWFIX; DWFIX; HWFLO; SWFLO; DWFLO; TWFLO; HWCPLX; SWCPLX; DWCPLX; TWCPLX; POINTER; BIT;
+    JUMP; NONE ]
+
+(** Side-effect classification (filled by the side-effects analysis). *)
+type effects = {
+  eff_alloc : bool;  (** may allocate heap storage *)
+  eff_write : bool;  (** may write memory visible elsewhere (setq on shared vars, rplaca) *)
+  eff_unknown_call : bool;  (** may call user-defined code *)
+  eff_control : bool;  (** may exit non-locally (go/return/throw) *)
+  eff_special : bool;  (** reads or writes dynamically scoped variables *)
+}
+
+let no_effects =
+  { eff_alloc = false; eff_write = false; eff_unknown_call = false; eff_control = false;
+    eff_special = false }
+
+let join_effects a b =
+  {
+    eff_alloc = a.eff_alloc || b.eff_alloc;
+    eff_write = a.eff_write || b.eff_write;
+    eff_unknown_call = a.eff_unknown_call || b.eff_unknown_call;
+    eff_control = a.eff_control || b.eff_control;
+    eff_special = a.eff_special || b.eff_special;
+  }
+
+(* Observable side effects: would executing this twice (or not at all, or
+   at a different time) change program behaviour?  Allocation alone is the
+   paper's "side effect that may be eliminated but must not be
+   duplicated". *)
+let effects_pure e =
+  (not e.eff_write) && (not e.eff_unknown_call) && (not e.eff_control) && not e.eff_special
+
+type var = {
+  v_name : string;
+  v_id : int;
+  mutable v_special : bool;
+  mutable v_binder : node option;  (** the LAMBDA node that binds it, if any *)
+  mutable v_refs : node list;  (** VAR nodes referencing it (env analysis) *)
+  mutable v_setqs : node list;  (** SETQ nodes assigning it (env analysis) *)
+  mutable v_captured : bool;  (** referenced from an inner closure: heap-allocate *)
+  mutable v_decl : rep option;  (** user type declaration, treated as advice (§2) *)
+  mutable v_rep : rep;  (** chosen representation (representation analysis) *)
+  mutable v_tn : int;  (** TN id (target annotation); -1 before *)
+  mutable v_env_slot : int;  (** slot in the heap environment when captured; -1 otherwise *)
+}
+
+and node = {
+  n_id : int;
+  mutable kind : kind;
+  (* --- analysis decorations --- *)
+  mutable n_free : var list;  (** variables read within the subtree *)
+  mutable n_written : var list;  (** variables assigned within the subtree *)
+  mutable n_effects : effects;
+  mutable n_complexity : int;  (** object-code size estimate *)
+  mutable n_tail : bool;  (** evaluated in tail position of its function *)
+  mutable n_dirty : bool;  (** needs re-analysis (incremental re-analysis flags, §4.2) *)
+  (* --- machine-dependent decorations --- *)
+  mutable n_wantrep : rep;  (** representation desired by context (top-down pass) *)
+  mutable n_isrep : rep;  (** representation delivered (bottom-up pass) *)
+  mutable n_pdlokp : int;  (** node id that authorized a pdl number, or -1 *)
+  mutable n_pdlnump : bool;  (** might deliver a pdl number *)
+  mutable n_tn : int;  (** ISTN id; -1 before target annotation *)
+  mutable n_wanttn : int;  (** WANTTN id when a coercion interposes; -1 otherwise *)
+  mutable n_pdltn : int;  (** pdl-number stack slot TN; -1 unless annotated *)
+}
+
+and kind =
+  | Term of Sexp.t  (** quoted constant *)
+  | Var of var  (** variable reference *)
+  | If of node * node * node
+  | Lambda of lam  (** value is a function (a lexical closure) *)
+  | Call of node * node list  (** function invocation *)
+  | Progn of node list
+  | Setq of var * node
+  | Caseq of node * (Sexp.t list * node) list * node option  (** keys, clauses, default *)
+  | Catcher of node * node  (** tag expression, body *)
+  | Progbody of pb
+  | Go of string  (** jump to a tag of an enclosing progbody *)
+  | Return of node  (** exit the nearest enclosing progbody *)
+
+and lam = {
+  mutable l_params : param list;
+  mutable l_body : node;
+  mutable l_strategy : strategy;  (** binding annotation (§4.4) *)
+  mutable l_captures : var list;  (** free lexical variables of a closure (binding annotation) *)
+  l_name : string;  (** for listings and closures *)
+}
+
+and param = { p_var : var; p_default : node option; p_kind : param_kind }
+and param_kind = Required | Optional | Rest
+
+and pb = { pb_uid : int; mutable pb_items : pb_item list }
+and pb_item = Ptag of string | Pstmt of node
+
+(** How a lambda-expression is compiled (the binding annotation phase):
+    - [Open]: called from exactly one place as a manifest [let]; its body
+      is wired inline and parameters become plain variables.
+    - [Jump]: all call sites known and tail-recursive; calls compile as
+      parameter-passing gotos.
+    - [Fast]: all call sites known but not all tail; a special fast
+      linkage with no argument-count checking.
+    - [Full_closure]: must construct a run-time closure object.
+    - [Toplevel]: a DEFUN body with the standard checked linkage. *)
+and strategy = Unknown | Open | Jump | Fast | Full_closure | Toplevel
+
+let next_id = ref 0
+let next_var_id = ref 0
+let next_pb_id = ref 0
+
+let mk kind =
+  incr next_id;
+  {
+    n_id = !next_id;
+    kind;
+    n_free = [];
+    n_written = [];
+    n_effects = no_effects;
+    n_complexity = 0;
+    n_tail = false;
+    n_dirty = true;
+    n_wantrep = POINTER;
+    n_isrep = POINTER;
+    n_pdlokp = -1;
+    n_pdlnump = false;
+    n_tn = -1;
+    n_wanttn = -1;
+    n_pdltn = -1;
+  }
+
+let mkvar ?(special = false) name =
+  incr next_var_id;
+  {
+    v_name = name;
+    v_id = !next_var_id;
+    v_special = special;
+    v_binder = None;
+    v_refs = [];
+    v_setqs = [];
+    v_captured = false;
+    v_decl = None;
+    v_rep = POINTER;
+    v_tn = -1;
+    v_env_slot = -1;
+  }
+
+let mk_pb items =
+  incr next_pb_id;
+  { pb_uid = !next_pb_id; pb_items = items }
+
+(* Constructors --------------------------------------------------------- *)
+
+let term s = mk (Term s)
+let var v = mk (Var v)
+let if_ p x y = mk (If (p, x, y))
+let call f args = mk (Call (f, args))
+let progn = function [ x ] -> x | xs -> mk (Progn xs)
+let setq v e = mk (Setq (v, e))
+
+let lambda ?(name = "LAMBDA") params body =
+  mk (Lambda { l_params = params; l_body = body; l_strategy = Unknown; l_captures = [];
+               l_name = name })
+
+let required v = { p_var = v; p_default = None; p_kind = Required }
+
+let nil_term = fun () -> term Sexp.nil
+let t_term = fun () -> term (Sexp.Sym "T")
+
+(* Queries ---------------------------------------------------------------- *)
+
+let is_constant n = match n.kind with Term _ -> true | _ -> false
+
+let constant_value n = match n.kind with Term s -> Some s | _ -> None
+
+let is_var n = match n.kind with Var _ -> true | _ -> false
+
+let children n =
+  match n.kind with
+  | Term _ | Go _ -> []
+  | Var _ -> []
+  | If (p, x, y) -> [ p; x; y ]
+  | Lambda l ->
+      List.filter_map (fun p -> p.p_default) l.l_params @ [ l.l_body ]
+  | Call (f, args) -> f :: args
+  | Progn xs -> xs
+  | Setq (_, e) -> [ e ]
+  | Caseq (key, clauses, default) ->
+      (key :: List.map snd clauses) @ Option.to_list default
+  | Catcher (tag, body) -> [ tag; body ]
+  | Progbody pb ->
+      List.filter_map (function Ptag _ -> None | Pstmt s -> Some s) pb.pb_items
+  | Return e -> [ e ]
+
+let rec iter f n =
+  f n;
+  List.iter (iter f) (children n)
+
+let rec size n = 1 + List.fold_left (fun acc c -> acc + size c) 0 (children n)
+
+let count_nodes pred root =
+  let c = ref 0 in
+  iter (fun n -> if pred n then incr c) root;
+  !c
+
+(* Variable bookkeeping ---------------------------------------------------- *)
+
+let add_ref v n = if not (List.memq n v.v_refs) then v.v_refs <- n :: v.v_refs
+let add_setq v n = if not (List.memq n v.v_setqs) then v.v_setqs <- n :: v.v_setqs
+
+let clear_var_backrefs root =
+  iter
+    (fun n ->
+      match n.kind with
+      | Var v ->
+          v.v_refs <- [];
+          v.v_setqs <- []
+      | Setq (v, _) ->
+          v.v_refs <- [];
+          v.v_setqs <- []
+      | Lambda l -> List.iter (fun p -> p.p_var.v_refs <- []; p.p_var.v_setqs <- []) l.l_params
+      | _ -> ())
+    root
+
+let record_var_backrefs root =
+  clear_var_backrefs root;
+  iter
+    (fun n ->
+      match n.kind with
+      | Var v -> add_ref v n
+      | Setq (v, _) -> add_setq v n
+      | Lambda l -> List.iter (fun p -> p.p_var.v_binder <- Some n) l.l_params
+      | _ -> ())
+    root

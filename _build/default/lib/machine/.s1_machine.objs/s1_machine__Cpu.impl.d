@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Asm Float Float36 Format Isa List Mem Printf Tags Word

@@ -1,0 +1,1 @@
+lib/machine/float36.ml: Float Int64 Word

@@ -1,0 +1,1 @@
+lib/machine/isa.ml: Format Hashtbl List Printf Tags Word

@@ -1,0 +1,163 @@
+type datum = Word of int | Labref of string
+
+type item =
+  | Label of string
+  | Instr of Isa.instr
+  | Data of string * datum list
+  | Comment of string
+
+type program = item list
+
+type image = {
+  org : int;
+  instrs : Isa.instr array;
+  labels : (string * int) list;
+  data_labels : (string * int) list;
+  code_words : int;
+}
+
+exception Asm_error of string list
+
+let assemble mem ~org prog =
+  let errors = ref [] in
+  let err fmt_str = Printf.ksprintf (fun s -> errors := s :: !errors) fmt_str in
+  (* Pass 1: lay out code indices and data blocks. *)
+  let code_labels = Hashtbl.create 16 in
+  let data_labels = Hashtbl.create 4 in
+  let n_instrs =
+    List.fold_left
+      (fun idx item ->
+        match item with
+        | Label l ->
+            if Hashtbl.mem code_labels l then err "duplicate label %s" l;
+            Hashtbl.replace code_labels l (org + idx);
+            idx
+        | Instr _ -> idx + 1
+        | Data (l, ws) ->
+            if Hashtbl.mem data_labels l then err "duplicate data label %s" l;
+            Hashtbl.replace data_labels l (Mem.alloc_static mem (List.length ws));
+            idx
+        | Comment _ -> idx)
+      0 prog
+  in
+  let resolve_target = function
+    | Isa.L l -> (
+        match Hashtbl.find_opt code_labels l with
+        | Some a -> Isa.Abs a
+        | None ->
+            err "undefined label %s" l;
+            Isa.Abs 0)
+    | Isa.Abs a -> Isa.Abs a
+  in
+  let resolve_operand (o : Isa.operand) : Isa.operand =
+    match o with
+    | Isa.Lab l -> (
+        match Hashtbl.find_opt code_labels l with
+        | Some a -> Isa.Imm a
+        | None ->
+            err "undefined label %s in operand" l;
+            Isa.Imm 0)
+    | Isa.Dlab (l, off) -> (
+        match Hashtbl.find_opt data_labels l with
+        | Some a -> Isa.Imm (a + off)
+        | None ->
+            err "undefined data label %s in operand" l;
+            Isa.Imm 0)
+    | o -> o
+  in
+  let resolve_instr (i : Isa.instr) : Isa.instr =
+    let op = resolve_operand and tg = resolve_target in
+    match i with
+    | Mov (d, s) -> Mov (op d, op s)
+    | Movp (t, d, s) -> Movp (t, op d, op s)
+    | Gettag (d, s) -> Gettag (op d, op s)
+    | Getaddr (d, s) -> Getaddr (op d, op s)
+    | Settag (t, d) -> Settag (t, op d)
+    | Bin (b, w, d, s1, s2) -> Bin (b, w, op d, op s1, op s2)
+    | Un (u, w, d, s) -> Un (u, w, op d, op s)
+    | Jmp (c, s1, s2, t) -> Jmp (c, op s1, op s2, tg t)
+    | Fjmp (c, s1, s2, t) -> Fjmp (c, op s1, op s2, tg t)
+    | Jmpz (c, s, t) -> Jmpz (c, op s, tg t)
+    | Jmptag (c, s, tag, t) -> Jmptag (c, op s, tag, tg t)
+    | Jmpa t -> Jmpa (tg t)
+    | Jmpi s -> Jmpi (op s)
+    | Jsp (r, t) -> Jsp (r, tg t)
+    | Push s -> Push (op s)
+    | Pop d -> Pop (op d)
+    | Allocs (f, n) -> Allocs (op f, n)
+    | Call (f, n) -> Call (op f, n)
+    | Tcall (f, n) -> Tcall (op f, n)
+    | Ret -> Ret
+    | Svc id -> Svc id
+    | Vdot (d, x, y, n) -> Vdot (op d, op x, op y, op n)
+    | Vadd (d, x, y, n) -> Vadd (op d, op x, op y, op n)
+    | Halt -> Halt
+    | Nop -> Nop
+  in
+  (* Pass 2: resolve, validate, emit. *)
+  let instrs = Array.make n_instrs Isa.Nop in
+  let words = ref 0 in
+  let idx = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ | Comment _ -> ()
+      | Instr i ->
+          let r = resolve_instr i in
+          (match Isa.validate r with
+          | Ok () -> ()
+          | Error msg -> err "at %d (%s): %s" (org + !idx) (Format.asprintf "%a" Isa.pp_instr i) msg);
+          instrs.(!idx) <- r;
+          words := !words + Isa.words r;
+          incr idx
+      | Data (l, ws) ->
+          let base = Hashtbl.find data_labels l in
+          List.iteri
+            (fun i d ->
+              let v =
+                match d with
+                | Word w -> w
+                | Labref lab -> (
+                    match Hashtbl.find_opt code_labels lab with
+                    | Some a -> a
+                    | None ->
+                        err "undefined label %s in data block %s" lab l;
+                        0)
+              in
+              Mem.write mem (base + i) v)
+            ws)
+    prog;
+  if !errors <> [] then raise (Asm_error (List.rev !errors));
+  {
+    org;
+    instrs;
+    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) code_labels [];
+    data_labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) data_labels [];
+    code_words = !words;
+  }
+
+let pp_item fmt = function
+  | Label l -> Format.fprintf fmt "%s" l
+  | Instr i -> Format.fprintf fmt "        %a" Isa.pp_instr i
+  | Data (l, ws) ->
+      Format.fprintf fmt "%s  (DATA%a)" l
+        (fun fmt ws ->
+          List.iter
+            (fun d ->
+              match d with
+              | Word w -> Format.fprintf fmt " %d" (Word.to_signed w)
+              | Labref lab -> Format.fprintf fmt " %s" lab)
+            ws)
+        ws
+  | Comment c -> Format.fprintf fmt "        ;%s" c
+
+let pp_program fmt prog =
+  Format.pp_open_vbox fmt 0;
+  List.iteri
+    (fun i item ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      pp_item fmt item)
+    prog;
+  Format.pp_close_box fmt ()
+
+let listing prog = Format.asprintf "%a" pp_program prog

@@ -1,0 +1,43 @@
+(** Symbolic assembler for the simulated S-1.
+
+    Programs are lists of {!item}s: labelled instructions with string
+    targets, plus data blocks (dispatch tables — the paper's Table 4 uses
+    one for &optional argument-count dispatch).  [assemble] resolves
+    labels, validates every instruction (the 2½-address discipline among
+    other things), places data blocks in the static region of a {!Mem.t},
+    and produces a code image of decoded instructions.
+
+    Code lives in its own index space ("Harvard style"): code addresses
+    are instruction indices, while {!Isa.words} still models fetch size
+    and cost.  Data addresses are ordinary memory words. *)
+
+type datum =
+  | Word of int  (** literal 36-bit word *)
+  | Labref of string  (** resolves to the code address of a label *)
+
+type item =
+  | Label of string
+  | Instr of Isa.instr
+  | Data of string * datum list  (** named static data block *)
+  | Comment of string  (** listing only; no code *)
+
+type program = item list
+
+type image = {
+  org : int;  (** code address of the first instruction *)
+  instrs : Isa.instr array;  (** fully resolved: targets are [Abs], label operands are [Imm] *)
+  labels : (string * int) list;  (** code labels to absolute code addresses *)
+  data_labels : (string * int) list;  (** data labels to memory addresses *)
+  code_words : int;  (** total size in 36-bit words *)
+}
+
+exception Asm_error of string list
+
+val assemble : Mem.t -> org:int -> program -> image
+(** @raise Asm_error listing every diagnostic. *)
+
+val pp_program : Format.formatter -> program -> unit
+(** Parenthesized assembly listing in the paper's style: labels at the
+    margin, instructions indented, comments after [;]. *)
+
+val listing : program -> string

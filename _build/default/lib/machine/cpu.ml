@@ -1,0 +1,503 @@
+type stats = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable movs : int;
+  mutable mem_traffic : int;
+  mutable calls : int;
+  mutable tcalls : int;
+  mutable svcs : int;
+  mutable stack_high : int;
+}
+
+type t = {
+  mem : Mem.t;
+  mutable code : Isa.instr array;
+  mutable code_len : int;
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+  stats : stats;
+  mutable service : t -> int -> unit;
+  mutable bad_function_svc : int;
+  mutable trace : bool;
+}
+
+exception Exec_error of { pc : int; message : string }
+
+let fail cpu fmt_str =
+  Printf.ksprintf (fun s -> raise (Exec_error { pc = cpu.pc; message = s })) fmt_str
+
+let fresh_stats () =
+  { cycles = 0; instructions = 0; movs = 0; mem_traffic = 0; calls = 0; tcalls = 0; svcs = 0;
+    stack_high = 0 }
+
+let halt_addr = 0
+
+let create ?mem () =
+  let mem = match mem with Some m -> m | None -> Mem.create () in
+  let cpu =
+    {
+      mem;
+      code = Array.make 1024 Isa.Halt;
+      code_len = 0;
+      regs = Array.make Isa.nregs 0;
+      pc = 0;
+      halted = false;
+      stats = fresh_stats ();
+      service = (fun _ _ -> ());
+      bad_function_svc = -1;
+      trace = false;
+    }
+  in
+  (* Code address 0 is the universal halt used as the host's return
+     continuation. *)
+  cpu.code.(0) <- Isa.Halt;
+  cpu.code_len <- 1;
+  cpu.regs.(Isa.sp) <- Mem.stack_base mem;
+  cpu.regs.(Isa.fp) <- Mem.stack_base mem;
+  cpu.regs.(Isa.tp) <- Mem.stack_base mem;
+  cpu.regs.(Isa.sb) <- Mem.bind_base mem;
+  cpu
+
+let ensure_capacity cpu n =
+  if cpu.code_len + n > Array.length cpu.code then begin
+    let cap = max (2 * Array.length cpu.code) (cpu.code_len + n) in
+    let fresh = Array.make cap Isa.Halt in
+    Array.blit cpu.code 0 fresh 0 cpu.code_len;
+    cpu.code <- fresh
+  end
+
+let load cpu prog =
+  let image = Asm.assemble cpu.mem ~org:cpu.code_len prog in
+  let n = Array.length image.instrs in
+  ensure_capacity cpu n;
+  Array.blit image.instrs 0 cpu.code cpu.code_len n;
+  cpu.code_len <- cpu.code_len + n;
+  image
+
+let label_addr (image : Asm.image) l =
+  match List.assoc_opt l image.labels with
+  | Some a -> a
+  | None -> failwith (Printf.sprintf "no such label: %s" l)
+
+let reset_stats cpu =
+  let s = cpu.stats in
+  s.cycles <- 0;
+  s.instructions <- 0;
+  s.movs <- 0;
+  s.mem_traffic <- 0;
+  s.calls <- 0;
+  s.tcalls <- 0;
+  s.svcs <- 0;
+  s.stack_high <- 0
+
+let reset_stack cpu =
+  cpu.regs.(Isa.sp) <- Mem.stack_base cpu.mem;
+  cpu.regs.(Isa.fp) <- Mem.stack_base cpu.mem;
+  cpu.regs.(Isa.tp) <- Mem.stack_base cpu.mem
+
+let get_reg cpu r = cpu.regs.(r)
+let set_reg cpu r v = cpu.regs.(r) <- v land Word.mask
+
+(* Operand evaluation --------------------------------------------------- *)
+
+let eff_addr cpu (o : Isa.operand) =
+  match o with
+  | Mabs a -> a
+  | Ind (r, d) -> cpu.regs.(r) + d
+  | Idx { base; disp; index; shift } -> cpu.regs.(base) + disp + (cpu.regs.(index) lsl shift)
+  | Defind (r, d, off) -> Word.addr_of (Mem.read cpu.mem (cpu.regs.(r) + d)) + off
+  | Defreg (r, off) -> Word.addr_of cpu.regs.(r) + off
+  | Reg _ | Imm _ | Lab _ | Dlab _ -> fail cpu "operand has no effective address"
+
+let value cpu (o : Isa.operand) =
+  cpu.stats.mem_traffic <- cpu.stats.mem_traffic + Isa.operand_cycles o;
+  match o with
+  | Reg r -> cpu.regs.(r)
+  | Imm v -> v land Word.mask
+  | Lab _ | Dlab _ -> fail cpu "unresolved label operand"
+  | _ -> Mem.read cpu.mem (eff_addr cpu o)
+
+let store cpu (o : Isa.operand) v =
+  cpu.stats.mem_traffic <- cpu.stats.mem_traffic + Isa.operand_cycles o;
+  match o with
+  | Reg r -> cpu.regs.(r) <- v land Word.mask
+  | Imm _ | Lab _ | Dlab _ -> fail cpu "store to non-writable operand"
+  | _ -> Mem.write cpu.mem (eff_addr cpu o) v
+
+(* Double-width (two-word) access: register pairs or adjacent memory. *)
+let value2 cpu (o : Isa.operand) =
+  match o with
+  | Reg r ->
+      if r + 1 >= Isa.nregs then fail cpu "double-width register pair out of range"
+      else (cpu.regs.(r), cpu.regs.(r + 1))
+  | Imm _ | Lab _ | Dlab _ -> fail cpu "double-width immediate"
+  | _ ->
+      let a = eff_addr cpu o in
+      (Mem.read cpu.mem a, Mem.read cpu.mem (a + 1))
+
+let store2 cpu (o : Isa.operand) (hi, lo) =
+  match o with
+  | Reg r ->
+      if r + 1 >= Isa.nregs then fail cpu "double-width register pair out of range"
+      else begin
+        cpu.regs.(r) <- hi land Word.mask;
+        cpu.regs.(r + 1) <- lo land Word.mask
+      end
+  | Imm _ | Lab _ | Dlab _ -> fail cpu "store to non-writable operand"
+  | _ ->
+      let a = eff_addr cpu o in
+      Mem.write cpu.mem a hi;
+      Mem.write cpu.mem (a + 1) lo
+
+(* Stack ----------------------------------------------------------------- *)
+
+let push cpu v =
+  let sp = cpu.regs.(Isa.sp) + 1 in
+  if sp >= Mem.stack_limit cpu.mem then fail cpu "stack overflow"
+  else begin
+    cpu.regs.(Isa.sp) <- sp;
+    Mem.write cpu.mem sp v;
+    let depth = sp - Mem.stack_base cpu.mem in
+    if depth > cpu.stats.stack_high then cpu.stats.stack_high <- depth
+  end
+
+let pop cpu =
+  let sp = cpu.regs.(Isa.sp) in
+  if sp <= Mem.stack_base cpu.mem then fail cpu "stack underflow"
+  else begin
+    cpu.regs.(Isa.sp) <- sp - 1;
+    Mem.read cpu.mem sp
+  end
+
+(* Call convention ------------------------------------------------------- *)
+
+(* Decode a function object to (entry, env option).  A Code-tagged word
+   points at a code object whose payload word 0 is the raw entry address;
+   a closure pairs a code word with an environment. *)
+let decode_function cpu fobj =
+  match Tags.of_int (Word.tag_of fobj) with
+  | Tags.Code -> Some (Word.addr_of (Mem.read cpu.mem (Word.addr_of fobj)), None)
+  | Tags.Closure ->
+      let addr = Word.addr_of fobj in
+      let code_word = Mem.read cpu.mem addr in
+      let env_word = Mem.read cpu.mem (addr + 1) in
+      if Tags.of_int (Word.tag_of code_word) = Tags.Code then
+        Some (Word.addr_of (Mem.read cpu.mem (Word.addr_of code_word)), Some env_word)
+      else None
+  | _ -> None
+
+let do_call cpu fobj nargs ~ret =
+  match decode_function cpu fobj with
+  | None ->
+      if cpu.bad_function_svc >= 0 then begin
+        cpu.regs.(0) <- fobj;
+        cpu.service cpu cpu.bad_function_svc
+      end
+      else fail cpu "call to non-function word %#x" fobj
+  | Some (entry, envw) ->
+      cpu.stats.calls <- cpu.stats.calls + 1;
+      cpu.regs.(Isa.rta) <- nargs;
+      push cpu ret;
+      push cpu cpu.regs.(Isa.fp);
+      push cpu cpu.regs.(Isa.tp);
+      push cpu cpu.regs.(Isa.env);
+      push cpu nargs;
+      cpu.regs.(Isa.fp) <- cpu.regs.(Isa.sp);
+      (match envw with Some e -> cpu.regs.(Isa.env) <- e | None -> ());
+      cpu.pc <- entry
+
+let do_tcall cpu fobj nargs =
+  match decode_function cpu fobj with
+  | None ->
+      if cpu.bad_function_svc >= 0 then begin
+        cpu.regs.(0) <- fobj;
+        cpu.service cpu cpu.bad_function_svc
+      end
+      else fail cpu "tail call to non-function word %#x" fobj
+  | Some (entry, envw) ->
+      cpu.stats.tcalls <- cpu.stats.tcalls + 1;
+      let fp = cpu.regs.(Isa.fp) in
+      let old_argc = Word.addr_of (Mem.read cpu.mem fp) in
+      let ret = Mem.read cpu.mem (fp - 4) in
+      let saved_fp = Mem.read cpu.mem (fp - 3) in
+      let saved_tp = Mem.read cpu.mem (fp - 2) in
+      let saved_env = Mem.read cpu.mem (fp - 1) in
+      (* New args currently sit on top of the stack. *)
+      let sp = cpu.regs.(Isa.sp) in
+      let src = sp - nargs + 1 in
+      let dst = fp - 4 - old_argc in
+      for i = 0 to nargs - 1 do
+        Mem.write cpu.mem (dst + i) (Mem.read cpu.mem (src + i))
+      done;
+      let lk = dst + nargs in
+      Mem.write cpu.mem lk ret;
+      Mem.write cpu.mem (lk + 1) saved_fp;
+      Mem.write cpu.mem (lk + 2) saved_tp;
+      Mem.write cpu.mem (lk + 3) saved_env;
+      Mem.write cpu.mem (lk + 4) nargs;
+      cpu.regs.(Isa.fp) <- lk + 4;
+      cpu.regs.(Isa.sp) <- lk + 4;
+      cpu.regs.(Isa.rta) <- nargs;
+      (match envw with Some e -> cpu.regs.(Isa.env) <- e | None -> ());
+      cpu.pc <- entry
+
+let do_ret cpu =
+  let fp = cpu.regs.(Isa.fp) in
+  let argc = Word.addr_of (Mem.read cpu.mem fp) in
+  let ret = Mem.read cpu.mem (fp - 4) in
+  cpu.regs.(Isa.sp) <- fp - 5 - argc;
+  cpu.regs.(Isa.env) <- Mem.read cpu.mem (fp - 1);
+  cpu.regs.(Isa.tp) <- Mem.read cpu.mem (fp - 2);
+  cpu.regs.(Isa.fp) <- Mem.read cpu.mem (fp - 3);
+  cpu.pc <- Word.addr_of ret
+
+(* Arithmetic ------------------------------------------------------------ *)
+
+let int_binop cpu (op : Isa.binop) x y =
+  let sx = Word.to_signed x and sy = Word.to_signed y in
+  let div_round rounding a b =
+    if b = 0 then fail cpu "division by zero"
+    else
+      let q =
+        match rounding with
+        | Isa.Floor -> if (a < 0) <> (b < 0) && a mod b <> 0 then (a / b) - 1 else a / b
+        | Isa.Ceiling -> if (a < 0) = (b < 0) && a mod b <> 0 then (a / b) + 1 else a / b
+        | Isa.Truncate -> a / b
+        | Isa.Round ->
+            let fq = float_of_int a /. float_of_int b in
+            let r = Float.round fq in
+            (* ties to even *)
+            let r = if Float.abs (fq -. Float.of_int (int_of_float r)) = 0.5 then
+                      let fl = Float.floor fq in
+                      if Float.rem fl 2.0 = 0.0 then int_of_float fl else int_of_float fl + 1
+                    else int_of_float r
+            in
+            r
+      in
+      q
+  in
+  match op with
+  | ADD -> Word.add x y
+  | SUB -> Word.sub x y
+  | MULT -> Word.mul x y
+  | DIV r -> Word.of_int (div_round r sx sy)
+  | MOD ->
+      if sy = 0 then fail cpu "MOD by zero"
+      else Word.of_int (sx - (sy * (if (sx < 0) <> (sy < 0) && sx mod sy <> 0 then (sx / sy) - 1 else sx / sy)))
+  | REM -> if sy = 0 then fail cpu "REM by zero" else Word.of_int (sx mod sy)
+  | AND -> Word.logand x y
+  | OR -> Word.logor x y
+  | XOR -> Word.logxor x y
+  | ASH -> Word.shift x sy
+  | FADD | FSUB | FMULT | FDIV | FMAX | FMIN | FATAN -> fail cpu "float op dispatched as int"
+
+let float_binop cpu (op : Isa.binop) x y =
+  match op with
+  | FADD -> x +. y
+  | FSUB -> x -. y
+  | FMULT -> x *. y
+  | FDIV -> x /. y
+  | FMAX -> Float.max x y
+  | FMIN -> Float.min x y
+  | FATAN -> Float.atan2 x y
+  | _ -> fail cpu "int op dispatched as float"
+
+let is_float_binop : Isa.binop -> bool = function
+  | FADD | FSUB | FMULT | FDIV | FMAX | FMIN | FATAN -> true
+  | _ -> false
+
+let two_pi = 4.0 *. Float.pi /. 2.0 |> fun _ -> 2.0 *. Float.pi
+
+let float_unop cpu (op : Isa.unop) x =
+  match op with
+  | FNEG -> -.x
+  | FABS -> Float.abs x
+  | FSQRT -> Float.sqrt x
+  | FSIN -> Float.sin (two_pi *. x) (* argument in cycles: the S-1 convention *)
+  | FCOS -> Float.cos (two_pi *. x)
+  | FEXP -> Float.exp x
+  | FLOG -> Float.log x
+  | _ -> fail cpu "non-float unop dispatched as float"
+
+(* Execution ------------------------------------------------------------- *)
+
+let step cpu =
+  if cpu.pc < 0 || cpu.pc >= cpu.code_len then fail cpu "pc out of code range";
+  let i = cpu.code.(cpu.pc) in
+  if cpu.trace then
+    Format.eprintf "@[<h>%6d  %a@]@." cpu.pc Isa.pp_instr i;
+  let s = cpu.stats in
+  s.instructions <- s.instructions + 1;
+  s.cycles <- s.cycles + Isa.base_cycles i;
+  let next = cpu.pc + 1 in
+  let jump_target = function Isa.Abs n -> n | Isa.L l -> fail cpu "unresolved target %s" l in
+  (match i with
+  | Mov (d, src) ->
+      s.movs <- s.movs + 1;
+      store cpu d (value cpu src);
+      cpu.pc <- next
+  | Movp (tag, d, src) ->
+      let addr = eff_addr cpu src in
+      store cpu d (Word.make_ptr ~tag:(Tags.to_int tag) ~addr);
+      cpu.pc <- next
+  | Gettag (d, src) ->
+      store cpu d (Word.tag_of (value cpu src));
+      cpu.pc <- next
+  | Getaddr (d, src) ->
+      store cpu d (Word.addr_of (value cpu src));
+      cpu.pc <- next
+  | Settag (tag, d) ->
+      let v = value cpu d in
+      store cpu d (Word.make_ptr ~tag:(Tags.to_int tag) ~addr:(Word.addr_of v));
+      cpu.pc <- next
+  | Bin (op, S, d, s1, s2) ->
+      let x = value cpu s1 and y = value cpu s2 in
+      let r =
+        if is_float_binop op then
+          Float36.encode_single
+            (float_binop cpu op (Float36.decode_single x) (Float36.decode_single y))
+        else int_binop cpu op x y
+      in
+      store cpu d r;
+      cpu.pc <- next
+  | Bin (op, D, d, s1, s2) ->
+      let x = value2 cpu s1 and y = value2 cpu s2 in
+      if is_float_binop op then begin
+        let r = float_binop cpu op (Float36.decode_double x) (Float36.decode_double y) in
+        store2 cpu d (Float36.encode_double r)
+      end
+      else fail cpu "double-width integer arithmetic unsupported";
+      cpu.pc <- next
+  | Un (op, S, d, src) ->
+      let x = value cpu src in
+      let r =
+        match op with
+        | NEG -> Word.neg x
+        | NOT -> Word.lognot x
+        | DATUM -> Word.of_int (Word.datum_signed x)
+        | FLOAT -> Float36.encode_single (float_of_int (Word.to_signed x))
+        | FIX rounding ->
+            let f = Float36.decode_single x in
+            let v =
+              match rounding with
+              | Floor -> Float.floor f
+              | Ceiling -> Float.ceil f
+              | Truncate -> Float.trunc f
+              | Round ->
+                  (* ties to even, as the Lisp-level ROUND requires *)
+                  if Float.abs (f -. Float.trunc f) = 0.5 then begin
+                    let fl = Float.floor f in
+                    if Float.rem fl 2.0 = 0.0 then fl else fl +. 1.0
+                  end
+                  else Float.round f
+            in
+            if Float.is_nan v || Float.abs v > 3.4e10 then fail cpu "FIX out of range"
+            else Word.of_int (int_of_float v)
+        | _ -> Float36.encode_single (float_unop cpu op (Float36.decode_single x))
+      in
+      store cpu d r;
+      cpu.pc <- next
+  | Un (op, D, d, src) ->
+      let x = Float36.decode_double (value2 cpu src) in
+      (match op with
+      | FNEG | FABS | FSQRT | FSIN | FCOS | FEXP | FLOG ->
+          store2 cpu d (Float36.encode_double (float_unop cpu op x))
+      | _ -> fail cpu "unsupported double-width unop");
+      cpu.pc <- next
+  | Jmp (c, s1, s2, t) ->
+      let x = Word.to_signed (value cpu s1) and y = Word.to_signed (value cpu s2) in
+      cpu.pc <- (if Isa.cond_holds c (compare x y) then jump_target t else next)
+  | Fjmp (c, s1, s2, t) ->
+      let x = Float36.decode_single (value cpu s1)
+      and y = Float36.decode_single (value cpu s2) in
+      cpu.pc <- (if Isa.cond_holds c (compare x y) then jump_target t else next)
+  | Jmpz (c, src, t) ->
+      let x = Word.to_signed (value cpu src) in
+      cpu.pc <- (if Isa.cond_holds c (compare x 0) then jump_target t else next)
+  | Jmptag (c, src, tag, t) ->
+      let x = Word.tag_of (value cpu src) in
+      cpu.pc <- (if Isa.cond_holds c (compare x (Tags.to_int tag)) then jump_target t else next)
+  | Jmpa t -> cpu.pc <- jump_target t
+  | Jmpi src -> cpu.pc <- Word.addr_of (value cpu src)
+  | Jsp (r, t) ->
+      cpu.regs.(r) <- Word.make_ptr ~tag:(Tags.to_int Tags.Code) ~addr:next;
+      cpu.pc <- jump_target t
+  | Push src ->
+      push cpu (value cpu src);
+      cpu.pc <- next
+  | Pop d ->
+      let v = pop cpu in
+      store cpu d v;
+      cpu.pc <- next
+  | Allocs (fill, n) ->
+      let v = value cpu fill in
+      for _ = 1 to n do
+        push cpu v
+      done;
+      cpu.pc <- next
+  | Call (f, n) ->
+      let fobj = value cpu f in
+      do_call cpu fobj n ~ret:(Word.make_ptr ~tag:(Tags.to_int Tags.Code) ~addr:next)
+  | Tcall (f, n) ->
+      let fobj = value cpu f in
+      do_tcall cpu fobj n
+  | Ret -> do_ret cpu
+  | Svc id ->
+      s.svcs <- s.svcs + 1;
+      cpu.pc <- next;
+      cpu.service cpu id
+  | Vdot (d, x, y, n) ->
+      let xa = Word.addr_of (value cpu x)
+      and ya = Word.addr_of (value cpu y)
+      and len = Word.to_signed (value cpu n) in
+      let acc = ref 0.0 in
+      for i = 0 to len - 1 do
+        acc :=
+          !acc
+          +. Float36.decode_single (Mem.read cpu.mem (xa + i))
+             *. Float36.decode_single (Mem.read cpu.mem (ya + i))
+      done;
+      s.cycles <- s.cycles + (2 * max 0 len);
+      store cpu d (Float36.encode_single !acc);
+      cpu.pc <- next
+  | Vadd (d, x, y, n) ->
+      let da = Word.addr_of (value cpu d)
+      and xa = Word.addr_of (value cpu x)
+      and ya = Word.addr_of (value cpu y)
+      and len = Word.to_signed (value cpu n) in
+      for i = 0 to len - 1 do
+        let v =
+          Float36.decode_single (Mem.read cpu.mem (xa + i))
+          +. Float36.decode_single (Mem.read cpu.mem (ya + i))
+        in
+        Mem.write cpu.mem (da + i) (Float36.encode_single v)
+      done;
+      s.cycles <- s.cycles + (2 * max 0 len);
+      cpu.pc <- next
+  | Halt -> cpu.halted <- true
+  | Nop -> cpu.pc <- next);
+  ()
+
+let run ?(fuel = 500_000_000) cpu ~at =
+  cpu.pc <- at;
+  cpu.halted <- false;
+  let start = cpu.stats.cycles in
+  while (not cpu.halted) && cpu.stats.cycles - start < fuel do
+    step cpu
+  done;
+  if not cpu.halted then fail cpu "fuel exhausted after %d cycles" fuel
+
+let call_function ?fuel cpu ~fobj ~args =
+  List.iter (fun v -> push cpu v) args;
+  do_call cpu fobj (List.length args)
+    ~ret:(Word.make_ptr ~tag:(Tags.to_int Tags.Code) ~addr:halt_addr);
+  let entry = cpu.pc in
+  run ?fuel cpu ~at:entry;
+  cpu.regs.(Isa.a)
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "@[<v>cycles:       %d@,instructions: %d@,movs:         %d@,mem traffic:  %d@,\
+     calls:        %d@,tail calls:   %d@,services:     %d@,stack high:   %d@]"
+    s.cycles s.instructions s.movs s.mem_traffic s.calls s.tcalls s.svcs s.stack_high

@@ -1,0 +1,78 @@
+(** The S-1 simulator: decoded-instruction interpreter with a cycle cost
+    model and execution statistics.
+
+    Code lives in a growable instruction store indexed by "code address"
+    (one slot per instruction; {!Isa.words} models the fetch-width cost).
+    Data, stacks and the Lisp heap live in a {!Mem.t}.
+
+    The Lisp function-call convention is microcoded in [CALL]/[TCALL]/
+    [RET] (standing in for the paper's [%SETUP]/[%CALL] macro expansions):
+
+    - caller pushes arguments left to right, then [CALL fobj n];
+    - [CALL] sets RTA := n (the "procedure interface information" of
+      Table 4), pushes the linkage \[ret, saved FP, saved TP, saved ENV,
+      n\], sets FP to the top of the linkage, loads ENV from closure
+      objects, and jumps;
+    - argument [i] (1-based) of an [n]-argument frame is [M(FP-5-n+i)];
+    - the callee leaves its result in register {!Isa.a}; [RET] unwinds;
+    - [TCALL] rewrites the current frame in place (the paper's
+      tail-recursive calls compiling to "parameter-passing gotos"),
+      giving O(1) stack for tail recursion — measured by test X1. *)
+
+type stats = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable movs : int;  (** MOV count — the §6.1 metric *)
+  mutable mem_traffic : int;
+  mutable calls : int;
+  mutable tcalls : int;
+  mutable svcs : int;
+  mutable stack_high : int;  (** high-water mark of SP, words above stack base *)
+}
+
+type t = {
+  mem : Mem.t;
+  mutable code : Isa.instr array;
+  mutable code_len : int;
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+  stats : stats;
+  mutable service : t -> int -> unit;  (** runtime service trap handler *)
+  mutable bad_function_svc : int;  (** service invoked by CALL on a non-function *)
+  mutable trace : bool;
+}
+
+exception Exec_error of { pc : int; message : string }
+
+val create : ?mem:Mem.t -> unit -> t
+
+val load : t -> Asm.program -> Asm.image
+(** Assemble at the current end of the code store and install. *)
+
+val label_addr : Asm.image -> string -> int
+
+val reset_stats : t -> unit
+val reset_stack : t -> unit
+(** Reset SP/FP/TP to the stack base (fresh activation). *)
+
+val get_reg : t -> Isa.reg -> int
+val set_reg : t -> Isa.reg -> int -> unit
+
+val push : t -> int -> unit
+val pop : t -> int
+(** The stack operations CALL uses, exposed for runtime services. *)
+
+val step : t -> unit
+(** Execute one instruction. @raise Exec_error on machine faults. *)
+
+val run : ?fuel:int -> t -> at:int -> unit
+(** Start execution at a code address and run to [Halt].
+    @raise Exec_error when fuel (default 500M cycles) is exhausted. *)
+
+val call_function : ?fuel:int -> t -> fobj:int -> args:int list -> int
+(** Host-side entry: push [args], [CALL] the function object, run until
+    it returns, and return the word left in register {!Isa.a}.  Used by
+    the REPL, examples, tests and benches. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,84 @@
+(* Generic binary float codec parameterized by exponent/fraction widths.
+   Encoding: [ sign | biased exponent | fraction ], round-to-nearest-even.
+   Exponent all-ones encodes infinity (fraction 0) and NaN (fraction <> 0);
+   exponent zero encodes zero and subnormals. *)
+
+type fmt = { ebits : int; fbits : int }
+
+let single = { ebits = 9; fbits = 26 }
+let half = { ebits = 5; fbits = 12 }
+let bias f = (1 lsl (f.ebits - 1)) - 1
+let emax f = (1 lsl f.ebits) - 1
+
+let encode fmt_ f =
+  let sign = if Float.sign_bit f then 1 else 0 in
+  let put ~e ~frac = (sign lsl (fmt_.ebits + fmt_.fbits)) lor (e lsl fmt_.fbits) lor frac in
+  if Float.is_nan f then put ~e:(emax fmt_) ~frac:1
+  else if Float.is_integer f && f = 0.0 then put ~e:0 ~frac:0
+  else
+    let af = Float.abs f in
+    if af = Float.infinity then put ~e:(emax fmt_) ~frac:0
+    else
+      let m, ex = Float.frexp af in
+      (* af = m * 2^ex, m in [0.5, 1) ; normalized form 1.xxx * 2^(ex-1) *)
+      let e_unbiased = ex - 1 in
+      let e_biased = e_unbiased + bias fmt_ in
+      if e_biased >= emax fmt_ then put ~e:(emax fmt_) ~frac:0 (* overflow -> inf *)
+      else if e_biased <= 0 then begin
+        (* subnormal: value = frac * 2^(1 - bias - fbits) *)
+        let scale = Float.ldexp 1.0 (1 - bias fmt_ - fmt_.fbits) in
+        let frac = Float.round (af /. scale) in
+        let maxfrac = float_of_int ((1 lsl fmt_.fbits) - 1) in
+        if frac > maxfrac then put ~e:1 ~frac:0 (* rounded up into normal range *)
+        else if frac <= 0.0 then put ~e:0 ~frac:0
+        else put ~e:0 ~frac:(int_of_float frac)
+      end
+      else
+        let frac_real = ((m *. 2.0) -. 1.0) *. Float.ldexp 1.0 fmt_.fbits in
+        (* round to nearest even *)
+        let fl = Float.of_int (int_of_float (Float.floor frac_real)) in
+        let rem = frac_real -. fl in
+        let fi = int_of_float fl in
+        let frac =
+          if rem > 0.5 then fi + 1
+          else if rem < 0.5 then fi
+          else if fi land 1 = 0 then fi
+          else fi + 1
+        in
+        if frac = 1 lsl fmt_.fbits then
+          if e_biased + 1 >= emax fmt_ then put ~e:(emax fmt_) ~frac:0
+          else put ~e:(e_biased + 1) ~frac:0
+        else put ~e:e_biased ~frac
+
+let decode fmt_ w =
+  let frac = w land ((1 lsl fmt_.fbits) - 1) in
+  let e = (w lsr fmt_.fbits) land (emax fmt_) in
+  let sign = if (w lsr (fmt_.ebits + fmt_.fbits)) land 1 = 1 then -1.0 else 1.0 in
+  if e = emax fmt_ then if frac = 0 then sign *. Float.infinity else Float.nan
+  else if e = 0 then sign *. Float.ldexp (float_of_int frac) (1 - bias fmt_ - fmt_.fbits)
+  else sign *. Float.ldexp (1.0 +. Float.ldexp (float_of_int frac) (-fmt_.fbits)) (e - bias fmt_)
+
+let encode_single = encode single
+let decode_single = decode single
+let single_of_float f = decode_single (encode_single f)
+let encode_half = encode half
+let decode_half = decode half
+
+let single_is_nan w =
+  let e = (w lsr single.fbits) land emax single in
+  e = emax single && w land ((1 lsl single.fbits) - 1) <> 0
+
+let single_is_inf w =
+  let e = (w lsr single.fbits) land emax single in
+  e = emax single && w land ((1 lsl single.fbits) - 1) = 0
+
+let encode_double f =
+  let b = Int64.bits_of_float f in
+  let hi = Int64.to_int (Int64.shift_right_logical b 28) land Word.mask in
+  let lo = Int64.to_int (Int64.logand b 0xFFFFFFFL) lsl 8 land Word.mask in
+  (hi, lo)
+
+let decode_double (hi, lo) =
+  let open Int64 in
+  let b = logor (shift_left (of_int hi) 28) (of_int ((lo lsr 8) land 0xFFFFFFF)) in
+  float_of_bits b

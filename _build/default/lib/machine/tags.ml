@@ -1,0 +1,88 @@
+type t =
+  | Ring of int
+  | Fixnum
+  | Char
+  | Half_flonum
+  | Symbol
+  | List
+  | Single_flonum
+  | Double_flonum
+  | Bignum
+  | Ratio
+  | Complex
+  | String
+  | Vector
+  | Closure
+  | Code
+  | Unbound
+  | Gc
+
+let to_int = function
+  | Ring n -> n
+  | Fixnum -> 9
+  | Char -> 10
+  | Half_flonum -> 11
+  | Symbol -> 12
+  | List -> 13
+  | Single_flonum -> 14
+  | Double_flonum -> 15
+  | Bignum -> 16
+  | Ratio -> 17
+  | Complex -> 18
+  | String -> 19
+  | Vector -> 20
+  | Closure -> 21
+  | Code -> 22
+  | Unbound -> 23
+  | Gc -> 24
+
+let of_int = function
+  | n when n >= 0 && n <= 8 -> Ring n
+  | 9 -> Fixnum
+  | 10 -> Char
+  | 11 -> Half_flonum
+  | 12 -> Symbol
+  | 13 -> List
+  | 14 -> Single_flonum
+  | 15 -> Double_flonum
+  | 16 -> Bignum
+  | 17 -> Ratio
+  | 18 -> Complex
+  | 19 -> String
+  | 20 -> Vector
+  | 21 -> Closure
+  | 22 -> Code
+  | 23 -> Unbound
+  | 24 -> Gc
+  | n -> Ring (n land 7)
+
+let name = function
+  | Ring n -> Printf.sprintf "*:DTP-RING-%d" n
+  | Fixnum -> "*:DTP-FIXNUM"
+  | Char -> "*:DTP-CHARACTER"
+  | Half_flonum -> "*:DTP-HALF-FLONUM"
+  | Symbol -> "*:DTP-SYMBOL"
+  | List -> "*:DTP-LIST"
+  | Single_flonum -> "*:DTP-SINGLE-FLONUM"
+  | Double_flonum -> "*:DTP-DOUBLE-FLONUM"
+  | Bignum -> "*:DTP-BIGNUM"
+  | Ratio -> "*:DTP-RATIO"
+  | Complex -> "*:DTP-COMPLEX"
+  | String -> "*:DTP-STRING"
+  | Vector -> "*:DTP-VECTOR"
+  | Closure -> "*:DTP-CLOSURE"
+  | Code -> "*:DTP-CODE"
+  | Unbound -> "*:DTP-UNBOUND"
+  | Gc -> "*:DTP-GC"
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let is_immediate = function
+  | Fixnum | Char | Half_flonum | Unbound | Ring _ -> true
+  | _ -> false
+
+let is_pointer t = not (is_immediate t)
+
+let is_number = function
+  | Fixnum | Half_flonum | Single_flonum | Double_flonum | Bignum | Ratio | Complex -> true
+  | _ -> false

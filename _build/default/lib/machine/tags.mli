@@ -1,0 +1,44 @@
+(** Data-type tags.
+
+    Virtual addresses are 31 bits plus a 5-bit tag.  Nine of the 32 tags
+    are reserved by the architecture (ring protection, à la MULTICS); the
+    remainder are free for user data types, and S-1 Lisp uses most of them
+    (paper §3).  The [DTP-GC] tag doubles as the garbage collector's
+    forwarding-pointer marker and as the "scratch memory" marker the
+    compiler stamps on non-pointer stack regions (Table 4). *)
+
+type t =
+  | Ring of int          (** architecture-reserved, 0..8 *)
+  | Fixnum               (** immediate 31-bit signed integer *)
+  | Char                 (** immediate 9-bit character *)
+  | Half_flonum          (** immediate 18-bit float (HWFLO) *)
+  | Symbol
+  | List                 (** cons cell *)
+  | Single_flonum
+  | Double_flonum
+  | Bignum
+  | Ratio
+  | Complex
+  | String
+  | Vector
+  | Closure
+  | Code                 (** compiled-function object *)
+  | Unbound              (** unbound-cell marker *)
+  | Gc                   (** forwarding pointer / scratch-memory marker *)
+
+val to_int : t -> int
+val of_int : int -> t
+(** Total: unassigned codes map to [Ring 0]-style reserved tags. *)
+
+val name : t -> string
+(** The [*:DTP-...] name the paper's listings use. *)
+
+val pp : Format.formatter -> t -> unit
+
+val is_immediate : t -> bool
+(** Tags whose datum is a value, not an address. *)
+
+val is_pointer : t -> bool
+(** Tags whose datum is a heap (or stack, for pdl numbers) address. *)
+
+val is_number : t -> bool

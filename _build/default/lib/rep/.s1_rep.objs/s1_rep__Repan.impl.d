@@ -1,0 +1,1 @@
+lib/rep/repan.ml: Hashtbl List Node Option S1_frontend S1_ir S1_sexp

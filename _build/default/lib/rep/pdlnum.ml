@@ -1,0 +1,140 @@
+(** Pdl-number annotation (paper §6.3).
+
+    When a raw machine number must be converted to pointer form, a
+    lifetime analysis decides whether stack allocation suffices:
+
+    - {b PDLOKP} (top-down): is the node's consumer willing to accept a
+      pdl number (an "unsafe" pointer into the stack)?  Passing a pointer
+      to a procedure or to a safe (non-storing) primitive is fine;
+      storing it into heap structure ([rplaca], [cons], ...), a special
+      variable, or returning it from the function is not.  The property
+      points at the node that authorized it, bounding the required
+      lifetime: in [(atan (if p x y) 3.0)], [x]'s PDLOKP points at the
+      [atan] node, not the [if].
+    - {b PDLNUMP} (bottom-up): might this node itself produce a fresh
+      number needing a box?
+
+    A node with both flags set, POINTER wantrep, and a raw numeric ISREP
+    gets a stack slot instead of a heap box; the code generator feeds the
+    slot to [MOVP] exactly as in Table 4. *)
+
+module Sexp = S1_sexp.Sexp
+open S1_ir
+open Node
+module Prims = S1_frontend.Prims
+
+(* Primitives that store argument pointers into visible structure (or
+   otherwise let them outlive the call): their arguments must be safe. *)
+let unsafe_prims =
+  [ "CONS"; "LIST"; "LIST*"; "APPEND"; "REVERSE"; "RPLACA"; "RPLACD"; "ASET"; "VECTOR";
+    "MAKE-VECTOR"; "SET"; "PUTPROP"; "THROW"; "NREVERSE"; "MAPCAR"; "MAPC"; "REDUCE";
+    "FUNCALL"; "APPLY" ]
+
+let authorizes_args fname = not (List.mem fname unsafe_prims)
+
+(* Top-down: [auth] is the id of the authorizing node, or -1. *)
+let rec okp (n : node) (auth : int) : unit =
+  n.n_pdlokp <- auth;
+  match n.kind with
+  | Term _ | Var _ | Go _ -> ()
+  | Setq (v, e) ->
+      (* storing into a captured or special variable lets the pointer
+         escape the frame *)
+      if v.v_special || v.v_captured then okp e (-1) else okp e auth
+  | If (p, x, y) ->
+      (* "it always of itself authorizes the predicate computation to
+         produce a pdl number, because the conditional test performed by
+         if is a safe operation"; the arms inherit the parent's
+         authorization. *)
+      okp p n.n_id;
+      okp x auth;
+      okp y auth
+  | Progn xs ->
+      let rec go = function
+        | [] -> ()
+        | [ last ] -> okp last auth
+        | x :: rest ->
+            okp x n.n_id (* value dropped: trivially safe *);
+            go rest
+      in
+      go xs
+  | Lambda l ->
+      List.iter (fun p -> Option.iter (fun d -> okp d n.n_id) p.p_default) l.l_params;
+      (* returning from a function is not safe *)
+      okp l.l_body (-1)
+  | Call ({ kind = Lambda l; _ }, args) when l.l_strategy = Open ->
+      (* binding a local variable keeps the pointer in this frame: safe,
+         authorized by the binding call as long as the variable is not
+         captured *)
+      List.iter2
+        (fun p a -> if p.p_var.v_captured || p.p_var.v_special then okp a (-1) else okp a n.n_id)
+        l.l_params args;
+      okp l.l_body auth
+  | Call (f, args) -> (
+      match f.kind with
+      | Term (Sexp.Sym fname) when S1_frontend.Prims.is_primitive fname ->
+          let a = if authorizes_args fname then n.n_id else -1 in
+          List.iter (fun arg -> okp arg a) args
+      | _ ->
+          okp f (-1);
+          (* "passing a pointer to a procedure is safe": arguments are
+             valid for the callee's extent by convention — except for a
+             tail call, whose frame (and pdl slots) are reclaimed before
+             the callee runs *)
+          let a = if n.n_tail then -1 else n.n_id in
+          List.iter (fun arg -> okp arg a) args)
+  | Caseq (key, clauses, default) ->
+      okp key n.n_id;
+      List.iter (fun (_, b) -> okp b auth) clauses;
+      Option.iter (fun d -> okp d auth) default
+  | Catcher (tag, body) ->
+      okp tag (-1);
+      okp body (-1)
+  | Progbody pb -> List.iter (function Ptag _ -> () | Pstmt s -> okp s (-1)) pb.pb_items
+  | Return e -> okp e (-1)
+
+(* Bottom-up PDLNUMP: might this node deliver a freshly created number? *)
+let rec nump (n : node) : bool =
+  let kids_default () = List.iter (fun c -> ignore (nump c)) (children n) in
+  let v =
+    match n.kind with
+    | Term _ | Var _ | Go _ ->
+        kids_default ();
+        false
+    | Setq (_, e) -> nump e
+    | If (p, x, y) ->
+        ignore (nump p);
+        let a = nump x and b = nump y in
+        a || b
+    | Progn xs ->
+        let rec go = function
+          | [] -> false
+          | [ last ] -> nump last
+          | x :: rest ->
+              ignore (nump x);
+              go rest
+        in
+        go xs
+    | Call ({ kind = Lambda l; _ }, args) when l.l_strategy = Open ->
+        List.iter (fun a -> ignore (nump a)) args;
+        nump l.l_body
+    | Call (f, args) -> (
+        List.iter (fun a -> ignore (nump a)) args;
+        match f.kind with
+        | Term (Sexp.Sym fname) -> (
+            match Prims.find fname with
+            | Some { Prims.res_rep = Some (SWFLO | DWFLO | HWFLO); _ } -> true
+            | _ -> false)
+        | _ ->
+            ignore (nump f);
+            false)
+    | _ ->
+        kids_default ();
+        false
+  in
+  n.n_pdlnump <- v;
+  v
+
+let run (root : node) : unit =
+  okp root (-1);
+  ignore (nump root)

@@ -1,0 +1,1 @@
+lib/runtime/bignum.ml: Array Buffer Char Float Format List S1_machine Stdlib String

@@ -1,0 +1,1 @@
+lib/runtime/builtins.ml: Array Bignum Buffer Float Hashtbl List Numerics Obj Printf Rt S1_machine String

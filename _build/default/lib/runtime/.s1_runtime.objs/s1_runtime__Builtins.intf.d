@@ -1,0 +1,1 @@
+lib/runtime/builtins.mli: Rt S1_machine

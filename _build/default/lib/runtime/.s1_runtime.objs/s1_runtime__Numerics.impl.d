@@ -1,0 +1,1 @@
+lib/runtime/numerics.ml: Bignum Float Format Int64 Obj S1_machine

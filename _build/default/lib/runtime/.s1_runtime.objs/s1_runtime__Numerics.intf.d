@@ -1,0 +1,1 @@
+lib/runtime/numerics.mli: Bignum Format Obj

@@ -1,0 +1,1 @@
+lib/runtime/obj.ml: Array Bignum Char Heap List Printf S1_machine String

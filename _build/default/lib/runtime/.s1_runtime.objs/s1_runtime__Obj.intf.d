@@ -1,0 +1,1 @@
+lib/runtime/obj.mli: Bignum Heap S1_machine

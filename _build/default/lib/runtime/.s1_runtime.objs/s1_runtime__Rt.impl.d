@@ -1,0 +1,1 @@
+lib/runtime/rt.ml: Array Bignum Buffer Fun Hashtbl Heap List Numerics Obj Printf S1_machine S1_sexp String Svc

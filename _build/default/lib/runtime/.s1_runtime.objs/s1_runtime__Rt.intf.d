@@ -1,0 +1,1 @@
+lib/runtime/rt.mli: Buffer Hashtbl Heap Obj S1_machine S1_sexp

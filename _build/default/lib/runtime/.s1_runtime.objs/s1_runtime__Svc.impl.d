@@ -1,0 +1,1 @@
+lib/runtime/svc.ml: S1_machine

@@ -1,0 +1,24 @@
+(** The standard library: Lisp primitives implemented as native code
+    objects.
+
+    Each builtin is an OCaml function wrapped by {!Rt.register_native}
+    into a callable code object (a [SVC]+[RET] stub), installed in the
+    symbol's function cell.  Compiled code and the interpreter reach the
+    same implementations, so the two agree bit-for-bit on library
+    semantics.
+
+    The set covers the MACLISP-family core the paper's examples use:
+    list structure, predicates, the full generic arithmetic tower, the
+    type-specific operators ([+$f], [*$f], [sin$f], [sinc$f], [+&], …)
+    of paper §6.2, property lists, vectors, [funcall]/[apply]/[mapcar],
+    and printing. *)
+
+val boot : ?config:S1_machine.Mem.config -> unit -> Rt.t
+(** Create a runtime with all builtins installed. *)
+
+val install : Rt.t -> unit
+(** Install into an existing runtime (idempotent). *)
+
+val names : unit -> string list
+(** All builtin function names (upper case); populated once a runtime has
+    been booted. *)

@@ -1,0 +1,302 @@
+module Tags = S1_machine.Tags
+module F36 = S1_machine.Float36
+
+type num =
+  | Int of Bignum.t
+  | Rat of Bignum.t * Bignum.t
+  | Single of float
+  | Double of float
+  | Cpx of num * num
+
+exception Not_a_number of string
+
+let of_int n = Int (Bignum.of_int n)
+
+let normalize_ratio num den =
+  if Bignum.is_zero den then raise Division_by_zero
+  else
+    let num, den = if Bignum.sign den < 0 then (Bignum.neg num, Bignum.neg den) else (num, den) in
+    let g = Bignum.gcd num den in
+    let num, den =
+      if Bignum.equal g Bignum.one || Bignum.is_zero g then (num, den)
+      else (fst (Bignum.divmod num g), fst (Bignum.divmod den g))
+    in
+    if Bignum.equal den Bignum.one then Int num else Rat (num, den)
+
+let rec decode (o : Obj.t) w =
+  match Obj.tag_of w with
+  | Tags.Fixnum -> Int (Bignum.of_int (Obj.fixnum_value w))
+  | Tags.Half_flonum -> Single (F36.decode_half (S1_machine.Word.addr_of w))
+  | Tags.Single_flonum -> Single (Obj.single_value o w)
+  | Tags.Double_flonum -> Double (Obj.double_value o w)
+  | Tags.Bignum -> Int (Obj.bignum_value o w)
+  | Tags.Ratio ->
+      let n, d = Obj.ratio_parts o w in
+      let as_big x =
+        match decode o x with Int b -> b | _ -> raise (Not_a_number "bad ratio component")
+      in
+      Rat (as_big n, as_big d)
+  | Tags.Complex ->
+      let re, im = Obj.complex_parts o w in
+      Cpx (decode o re, decode o im)
+  | t -> raise (Not_a_number (Tags.name t))
+
+let rec encode ?where (o : Obj.t) n =
+  match n with
+  | Int b -> Obj.integer ?where o b
+  | Rat (num, den) ->
+      Obj.ratio ?where o (Obj.integer ?where o num) (Obj.integer ?where o den)
+  | Single f -> Obj.single ?where o f
+  | Double f -> Obj.double ?where o f
+  | Cpx (re, im) -> Obj.complex ?where o (encode ?where o re) (encode ?where o im)
+
+(* Contagion --------------------------------------------------------------- *)
+
+let to_float = function
+  | Int b -> Bignum.to_float b
+  | Rat (n, d) -> Bignum.to_float n /. Bignum.to_float d
+  | Single f | Double f -> f
+  | Cpx _ -> raise (Not_a_number "complex has no single float value")
+
+let rank = function
+  | Int _ -> 0
+  | Rat _ -> 1
+  | Single _ -> 2
+  | Double _ -> 3
+  | Cpx _ -> 4
+
+(* Raise [n] to at least the representation level [r]. *)
+let promote n r =
+  match (n, r) with
+  | _, 4 -> ( match n with Cpx _ -> n | _ -> Cpx (n, Int Bignum.zero))
+  | (Int _ | Rat _), 2 -> Single (F36.single_of_float (to_float n))
+  | (Int _ | Rat _ | Single _), 3 -> Double (to_float n)
+  | Int b, 1 -> Rat (b, Bignum.one)
+  | _ -> n
+
+let join a b =
+  let r = max (rank a) (rank b) in
+  (promote a r, promote b r, r)
+
+let demote_rat = function
+  | Rat (n, d) when Bignum.equal d Bignum.one -> Int n
+  | n -> n
+
+let rec canonical = function
+  | Cpx (re, im) when (match im with Int b -> Bignum.is_zero b | _ -> false) -> canonical re
+  | n -> demote_rat n
+
+(* Real arithmetic on matched ranks. *)
+let rec add a b =
+  let a, b, r = join a b in
+  canonical
+    (match (a, b, r) with
+    | Int x, Int y, _ -> Int (Bignum.add x y)
+    | Rat (n1, d1), Rat (n2, d2), _ ->
+        normalize_ratio (Bignum.add (Bignum.mul n1 d2) (Bignum.mul n2 d1)) (Bignum.mul d1 d2)
+    | Single x, Single y, _ -> Single (F36.single_of_float (x +. y))
+    | Double x, Double y, _ -> Double (x +. y)
+    | Cpx (r1, i1), Cpx (r2, i2), _ -> Cpx (add r1 r2, add i1 i2)
+    | _ -> assert false)
+
+let rec neg = function
+  | Int b -> Int (Bignum.neg b)
+  | Rat (n, d) -> Rat (Bignum.neg n, d)
+  | Single f -> Single (-.f)
+  | Double f -> Double (-.f)
+  | Cpx (re, im) -> Cpx (neg re, neg im)
+
+let sub a b = add a (neg b)
+
+let rec mul a b =
+  let a, b, r = join a b in
+  canonical
+    (match (a, b, r) with
+    | Int x, Int y, _ -> Int (Bignum.mul x y)
+    | Rat (n1, d1), Rat (n2, d2), _ -> normalize_ratio (Bignum.mul n1 n2) (Bignum.mul d1 d2)
+    | Single x, Single y, _ -> Single (F36.single_of_float (x *. y))
+    | Double x, Double y, _ -> Double (x *. y)
+    | Cpx (r1, i1), Cpx (r2, i2), _ ->
+        Cpx (sub (mul r1 r2) (mul i1 i2), add (mul r1 i2) (mul i1 r2))
+    | _ -> assert false)
+
+let rec div a b =
+  let a, b, r = join a b in
+  canonical
+    (match (a, b, r) with
+    | Int x, Int y, _ ->
+        if Bignum.is_zero y then raise Division_by_zero else normalize_ratio x y
+    | Rat (n1, d1), Rat (n2, d2), _ ->
+        if Bignum.is_zero n2 then raise Division_by_zero
+        else normalize_ratio (Bignum.mul n1 d2) (Bignum.mul d1 n2)
+    | Single x, Single y, _ -> Single (F36.single_of_float (x /. y))
+    | Double x, Double y, _ -> Double (x /. y)
+    | Cpx (r1, i1), Cpx (r2, i2), _ ->
+        let denom = add (mul r2 r2) (mul i2 i2) in
+        Cpx
+          ( div (add (mul r1 r2) (mul i1 i2)) denom,
+            div (sub (mul i1 r2) (mul r1 i2)) denom )
+    | _ -> assert false)
+
+let abs_ = function
+  | Int b -> Int (Bignum.abs b)
+  | Rat (n, d) -> Rat (Bignum.abs n, d)
+  | Single f -> Single (Float.abs f)
+  | Double f -> Double (Float.abs f)
+  | Cpx (re, im) ->
+      let r = to_float re and i = to_float im in
+      Single (F36.single_of_float (Float.hypot r i))
+
+let compare_ a b =
+  match (a, b) with
+  | Cpx _, _ | _, Cpx _ -> raise (Not_a_number "cannot order complex numbers")
+  | Int x, Int y -> Bignum.compare x y
+  | Rat (n1, d1), Rat (n2, d2) -> Bignum.compare (Bignum.mul n1 d2) (Bignum.mul n2 d1)
+  | Int x, Rat (n, d) -> Bignum.compare (Bignum.mul x d) n
+  | Rat (n, d), Int y -> Bignum.compare n (Bignum.mul y d)
+  | _ -> Float.compare (to_float a) (to_float b)
+
+let rec eql a b =
+  match (a, b) with
+  | Int x, Int y -> Bignum.equal x y
+  | Rat (n1, d1), Rat (n2, d2) -> Bignum.equal n1 n2 && Bignum.equal d1 d2
+  | Single x, Single y | Double x, Double y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Cpx (r1, i1), Cpx (r2, i2) -> eql r1 r2 && eql i1 i2
+  | _ -> false
+
+let rec equal_value a b =
+  match (a, b) with
+  | Cpx (r1, i1), Cpx (r2, i2) -> equal_value r1 r2 && equal_value i1 i2
+  | Cpx (r1, i1), other | other, Cpx (r1, i1) ->
+      equal_value i1 (Int Bignum.zero) && equal_value r1 other
+  | _ -> compare_ a b = 0
+
+let zerop = function
+  | Int b -> Bignum.is_zero b
+  | Rat _ -> false
+  | Single f | Double f -> f = 0.0
+  | Cpx (re, im) -> (
+      match (re, im) with
+      | (Single r | Double r), (Single i | Double i) -> r = 0.0 && i = 0.0
+      | _ -> false)
+
+let minusp n = compare_ n (Int Bignum.zero) < 0
+let plusp n = compare_ n (Int Bignum.zero) > 0
+
+let oddp = function
+  | Int b -> not (Bignum.is_even b)
+  | n -> raise (Not_a_number (Format.asprintf "oddp of non-integer rank %d" (rank n)))
+
+let evenp = function
+  | Int b -> Bignum.is_even b
+  | n -> raise (Not_a_number (Format.asprintf "evenp of non-integer rank %d" (rank n)))
+
+(* Rounding division of a single real to an integer plus remainder. *)
+let round_real mode n =
+  match n with
+  | Int _ -> (n, Int Bignum.zero)
+  | Rat (num, den) ->
+      let q, r = Bignum.divmod num den in
+      (* Bignum.divmod truncates toward zero; fix up per mode. *)
+      let adjust =
+        match mode with
+        | `Floor -> if Bignum.sign r < 0 then -1 else 0
+        | `Ceiling -> if Bignum.sign r > 0 then 1 else 0
+        | `Truncate -> 0
+        | `Round ->
+            let twice_r = Bignum.mul (Bignum.abs r) (Bignum.of_int 2) in
+            let c = Bignum.compare twice_r den in
+            if c > 0 || (c = 0 && not (Bignum.is_even q)) then Bignum.sign num * Bignum.sign den
+            else 0
+      in
+      let q' = Bignum.add q (Bignum.of_int adjust) in
+      let r' = Rat (Bignum.sub num (Bignum.mul q' den), den) in
+      (Int q', demote_rat r')
+  | Single f | Double f ->
+      let q =
+        match mode with
+        | `Floor -> Float.floor f
+        | `Ceiling -> Float.ceil f
+        | `Truncate -> Float.trunc f
+        | `Round ->
+            let r = Float.round f in
+            if Float.abs (f -. Float.trunc f) = 0.5 then
+              (* ties to even *)
+              let fl = Float.floor f in
+              if Float.rem fl 2.0 = 0.0 then fl else fl +. 1.0
+            else r
+      in
+      let rem = f -. q in
+      let remn = match n with Single _ -> Single rem | _ -> Double rem in
+      (Int (Bignum.of_float q), remn)
+  | Cpx _ -> raise (Not_a_number "rounding of complex")
+
+let floor_ n = round_real `Floor n
+let ceiling_ n = round_real `Ceiling n
+let truncate_ n = round_real `Truncate n
+let round_ n = round_real `Round n
+
+(* Transcendental ----------------------------------------------------------- *)
+
+let lift_float_result n f =
+  match n with
+  | Double _ -> Double f
+  | _ -> Single (F36.single_of_float f)
+
+let sqrt_ n =
+  match n with
+  | Cpx _ ->
+      let re = to_float (match n with Cpx (r, _) -> r | _ -> assert false) in
+      let im = to_float (match n with Cpx (_, i) -> i | _ -> assert false) in
+      let m = Float.hypot re im in
+      let sr = Float.sqrt ((m +. re) /. 2.0) and si = Float.sqrt ((m -. re) /. 2.0) in
+      let si = if im < 0.0 then -.si else si in
+      Cpx (Single (F36.single_of_float sr), Single (F36.single_of_float si))
+  | _ ->
+      let f = to_float n in
+      if f < 0.0 then
+        Cpx (Single 0.0, lift_float_result n (Float.sqrt (-.f)))
+      else lift_float_result n (Float.sqrt f)
+
+let sin_ n = lift_float_result n (Float.sin (to_float n))
+let cos_ n = lift_float_result n (Float.cos (to_float n))
+let atan_ a b = lift_float_result a (Float.atan2 (to_float a) (to_float b))
+let exp_ n = lift_float_result n (Float.exp (to_float n))
+
+let log_ n =
+  let f = to_float n in
+  if f < 0.0 then
+    Cpx (lift_float_result n (Float.log (-.f)), lift_float_result n Float.pi)
+  else lift_float_result n (Float.log f)
+
+let expt base power =
+  match power with
+  | Int p -> (
+      match Bignum.to_int_opt p with
+      | Some e when e >= 0 ->
+          let rec go acc b e =
+            if e = 0 then acc
+            else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+            else go acc (mul b b) (e lsr 1)
+          in
+          go (Int Bignum.one) base e
+      | Some e ->
+          let pos =
+            let rec go acc b k =
+              if k = 0 then acc
+              else if k land 1 = 1 then go (mul acc b) (mul b b) (k lsr 1)
+              else go acc (mul b b) (k lsr 1)
+            in
+            go (Int Bignum.one) base (-e)
+          in
+          div (Int Bignum.one) pos
+      | None -> raise (Not_a_number "exponent too large"))
+  | _ -> lift_float_result base (Float.pow (to_float base) (to_float power))
+
+let rec pp fmt = function
+  | Int b -> Bignum.pp fmt b
+  | Rat (n, d) -> Format.fprintf fmt "%a/%a" Bignum.pp n Bignum.pp d
+  | Single f -> Format.fprintf fmt "%g" f
+  | Double f -> Format.fprintf fmt "%gd0" f
+  | Cpx (re, im) -> Format.fprintf fmt "#C(%a %a)" pp re pp im

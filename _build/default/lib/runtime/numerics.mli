@@ -1,0 +1,90 @@
+(** Generic arithmetic over the full S-1 Lisp numeric tower (paper §2:
+    "integers of indefinite size, rational numbers, floating-point numbers
+    of several precisions, and complex numbers").
+
+    These functions implement the {e generic} operators ([+], [*], [<],
+    …) that compiled code reaches through runtime services when operand
+    types are not statically known, and that the type-specific operators
+    ([+$f], [+&], …) bypass.  The interpreter and the compiler's
+    constant-folding phase use the same definitions, which is what makes
+    differential testing meaningful.
+
+    Contagion follows Common Lisp: integer → ratio → single → double;
+    complex numbers are contagious across both components.  Integer
+    division by [/] is exact (producing ratios); the rounding division
+    flavours are {!floor_}, {!ceiling_}, {!truncate_}, {!round_}. *)
+
+type num =
+  | Int of Bignum.t
+  | Rat of Bignum.t * Bignum.t  (** normalized: den > 1, gcd = 1, den positive *)
+  | Single of float
+  | Double of float
+  | Cpx of num * num  (** components are real *)
+
+exception Not_a_number of string
+
+val decode : Obj.t -> int -> num
+(** @raise Not_a_number when the word is not numeric. *)
+
+val encode : ?where:Obj.where -> Obj.t -> num -> int
+(** Allocate (or produce an immediate for) the canonical Lisp value. *)
+
+val of_int : int -> num
+val normalize_ratio : Bignum.t -> Bignum.t -> num
+(** Build an exact rational from numerator and denominator.
+    @raise Division_by_zero *)
+
+(** {1 Arithmetic} *)
+
+val add : num -> num -> num
+val sub : num -> num -> num
+val mul : num -> num -> num
+val div : num -> num -> num
+(** Exact on integers/ratios. @raise Division_by_zero *)
+
+val neg : num -> num
+val abs_ : num -> num
+
+val floor_ : num -> num * num
+val ceiling_ : num -> num * num
+val truncate_ : num -> num * num
+val round_ : num -> num * num
+(** Quotient (an integer) and remainder, Common Lisp style: applied to a
+    single real they return its integer part and fractional remainder;
+    two-argument forms are [floor_ (div a b)]-like and derived by
+    callers. *)
+
+val compare_ : num -> num -> int
+(** @raise Not_a_number on complex arguments. *)
+
+val eql : num -> num -> bool
+(** Same type and same value — Lisp [eql] on numbers. *)
+
+val equal_value : num -> num -> bool
+(** Mathematical equality after contagion — Lisp [=]. *)
+
+val zerop : num -> bool
+val minusp : num -> bool
+val plusp : num -> bool
+val oddp : num -> bool
+(** @raise Not_a_number on non-integers. *)
+
+val evenp : num -> bool
+
+(** {1 Irrational and transcendental} *)
+
+val sqrt_ : num -> num
+(** Negative reals give a complex result. *)
+
+val sin_ : num -> num
+val cos_ : num -> num
+val atan_ : num -> num -> num
+val exp_ : num -> num
+val log_ : num -> num
+val expt : num -> num -> num
+(** Integer exponents handled exactly. *)
+
+val to_float : num -> float
+(** Real part ignored?  No: @raise Not_a_number on complex. *)
+
+val pp : Format.formatter -> num -> unit

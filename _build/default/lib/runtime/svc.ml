@@ -1,0 +1,82 @@
+(* Stable system-service ids, in the spirit of the paper's "system
+   quantities" ([*:SQ-...]).  The ids are allocated once per process in
+   the global ISA registry so that compiled code and runtime handlers
+   agree without sharing a runtime instance. *)
+
+let reg = S1_machine.Isa.register_svc
+
+(* Allocation (may trigger GC). *)
+let cons = reg "*:SQ-CONS"
+let single_flonum_cons = reg "*:SQ-SINGLE-FLONUM-CONS"
+let double_flonum_cons = reg "*:SQ-DOUBLE-FLONUM-CONS"
+let closure_cons = reg "*:SQ-CLOSURE-CONS"
+let vector_cons = reg "*:SQ-VECTOR-CONS"
+
+(* Generic arithmetic fallbacks: operands in R0, R1; result in R0. *)
+let generic_add = reg "*:SQ-GENERIC-ADD"
+let generic_sub = reg "*:SQ-GENERIC-SUB"
+let generic_mul = reg "*:SQ-GENERIC-MUL"
+let generic_div = reg "*:SQ-GENERIC-DIV"
+let generic_neg = reg "*:SQ-GENERIC-NEG"
+let generic_lss = reg "*:SQ-GENERIC-LSS"
+let generic_leq = reg "*:SQ-GENERIC-LEQ"
+let generic_gtr = reg "*:SQ-GENERIC-GTR"
+let generic_geq = reg "*:SQ-GENERIC-GEQ"
+let generic_num_eq = reg "*:SQ-GENERIC-NUM-EQ"
+let generic_max = reg "*:SQ-GENERIC-MAX"
+let generic_min = reg "*:SQ-GENERIC-MIN"
+let generic_zerop = reg "*:SQ-GENERIC-ZEROP"
+let generic_oddp = reg "*:SQ-GENERIC-ODDP"
+let generic_evenp = reg "*:SQ-GENERIC-EVENP"
+let generic_floor = reg "*:SQ-GENERIC-FLOOR"
+let generic_ceiling = reg "*:SQ-GENERIC-CEILING"
+let generic_truncate = reg "*:SQ-GENERIC-TRUNCATE"
+let generic_round = reg "*:SQ-GENERIC-ROUND"
+let generic_sqrt = reg "*:SQ-GENERIC-SQRT"
+let generic_sin = reg "*:SQ-GENERIC-SIN"
+let generic_cos = reg "*:SQ-GENERIC-COS"
+let generic_exp = reg "*:SQ-GENERIC-EXP"
+let generic_log = reg "*:SQ-GENERIC-LOG"
+let generic_atan = reg "*:SQ-GENERIC-ATAN"
+let generic_expt = reg "*:SQ-GENERIC-EXPT"
+
+(* Equality. *)
+let eql_svc = reg "*:SQ-EQL"
+let equal_svc = reg "*:SQ-EQUAL"
+
+(* Errors — these raise out of the simulator. *)
+let wrong_number_of_arguments = reg "*:SQ-WRONG-NUMBER-OF-ARGUMENTS"
+let wrong_type = reg "*:SQ-WRONG-TYPE"
+let wrong_type_of_function = reg "*:SQ-WRONG-TYPE-OF-FUNCTION"
+let unbound_variable = reg "*:SQ-UNBOUND-VARIABLE"
+let undefined_function = reg "*:SQ-UNDEFINED-FUNCTION"
+let error_signal = reg "*:SQ-ERROR"
+
+(* Deep binding of special variables (paper §4.4). *)
+let bind_special = reg "*:SQ-BIND-SPECIAL"
+let unbind_special = reg "*:SQ-UNBIND-SPECIAL"
+let lookup_special = reg "*:SQ-LOOKUP-SPECIAL"  (* -> value cell address in R0 *)
+let symbol_value = reg "*:SQ-SYMBOL-VALUE"
+let set_symbol_value = reg "*:SQ-SET-SYMBOL-VALUE"
+let symbol_function = reg "*:SQ-SYMBOL-FUNCTION"
+
+(* Pdl-number certification (paper §6.3). *)
+let certify = reg "*:SQ-CERTIFY-POINTER"
+
+(* Build the &rest list from the current frame's arguments starting at the
+   (0-based) index in R0; result in R0. *)
+let make_rest = reg "*:SQ-MAKE-REST-LIST"
+
+(* Fixnum boxing with bignum overflow: raw 36-bit value in R0 -> integer
+   object in R0. *)
+let box_integer = reg "*:SQ-BOX-INTEGER"
+
+(* Non-local exits. *)
+let catch_push = reg "*:SQ-CATCH-PUSH"
+let catch_pop = reg "*:SQ-CATCH-POP"
+let throw = reg "*:SQ-THROW"
+
+(* I/O and misc. *)
+let write_value = reg "*:SQ-WRITE"
+let terpri = reg "*:SQ-TERPRI"
+let force_gc = reg "*:SQ-GC"

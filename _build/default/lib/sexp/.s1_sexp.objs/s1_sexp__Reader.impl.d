@@ -1,0 +1,1 @@
+lib/sexp/reader.ml: Buffer Bytes Char Format List Printf Sexp String

@@ -1,0 +1,1 @@
+lib/sexp/sexp.ml: Buffer Char Float Format Int Int64 List Printf Stdlib String

@@ -1,0 +1,32 @@
+(** Reader: parse s-expression surface syntax into {!Sexp.t}.
+
+    Supports the classic Lisp reader conveniences used in the paper's
+    examples:
+    - ['x] for [(QUOTE x)], [#'f] for [(FUNCTION f)]
+    - [`x], [,x], [,@x] for [(QUASIQUOTE x)] / [(UNQUOTE x)] /
+      [(UNQUOTE-SPLICING x)] (expanded away by the front end)
+    - [;] line comments and [#| ... |#] block comments
+    - integer, ratio ([2/3]) and float literals with precision suffixes
+      ([1.5h0], [1.5] / [1.5s0] / [1.5e3], [1.5d0], [1.5t0])
+    - [#\c] character literals and ["..."] strings
+    - dotted lists [(a b . c)]
+
+    Symbols are upcased on read (traditional Lisp behaviour; the paper's
+    transcripts print upper case). *)
+
+type error = { line : int; col : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> Sexp.t list
+(** Parse every form in the string. Raises {!Parse_error}. *)
+
+val parse_one : string -> Sexp.t
+(** Parse exactly one form; error when the input holds zero or >1 forms. *)
+
+val fixnum_min : int
+val fixnum_max : int
+(** Bounds of a 36-bit two's complement fixnum; integer literals outside
+    this range read as {!Sexp.Big}. *)

@@ -1,0 +1,1 @@
+lib/tnbind/tnbind.ml: Format List Node Printf S1_ir S1_machine

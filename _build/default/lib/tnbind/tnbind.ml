@@ -1,0 +1,176 @@
+(** TNBIND: register and storage allocation (paper §6.1).
+
+    "A TN ('temporary name') is assigned to every computational quantity
+    in the program ... Each TN is annotated on the basis of the context
+    of its use as to the costs associated with allocating it to one or
+    another kind of storage location ... After all TNs have been
+    annotated, a global packing process assigns each TN to a specific
+    run-time storage location."
+
+    TNs here cover user variables, special-variable cache pointers, pdl
+    number slots, and compiler temporaries that must survive complex
+    siblings.  (Very short-lived intermediate values travel through the
+    RT registers and the machine stack inside single expressions; the
+    packing problem the paper describes is about the quantities that
+    outlive an expression.)
+
+    Storage classes:
+    - machine registers (fastest; destroyed by CALL, so only lifetimes
+      that cross no call qualify);
+    - pointer frame slots (FP-relative, NIL-initialized, GC-scanned);
+    - scratch frame slots (TP-relative, stamped [DTP-GC] per Table 4,
+      never interpreted as pointers; raw machine numbers, cached special
+      cell addresses, and pdl numbers live here).
+
+    [pack] is a greedy priority allocator; [pack ~naive:true] sends every
+    TN to a frame slot (the no-TNBIND ablation of bench X6). *)
+
+open S1_ir
+
+type storage =
+  | Sreg of int  (** machine register *)
+  | Sframe of int  (** pointer slot index (0-based; FP+1+i) *)
+  | Sscratch of int  (** scratch slot index (0-based; TP+i) *)
+
+type tn = {
+  tn_id : int;
+  tn_name : string;
+  tn_rep : Node.rep;
+  tn_pointer : bool;  (** needs GC-visible (pointer region) storage if in memory *)
+  tn_width : int;
+  mutable tn_first : int;
+  mutable tn_last : int;
+  mutable tn_uses : int;
+  mutable tn_across_call : bool;
+  mutable tn_must_frame : bool;  (** pdl slots, special caches, captured cells *)
+  mutable tn_storage : storage option;
+}
+
+type pool = {
+  mutable tns : tn list;  (* newest first *)
+  mutable next_id : int;
+  mutable clock : int;
+  mutable n_pointer_slots : int;
+  mutable n_scratch_slots : int;
+}
+
+let create_pool () =
+  { tns = []; next_id = 0; clock = 0; n_pointer_slots = 0; n_scratch_slots = 0 }
+
+let tick pool =
+  pool.clock <- pool.clock + 1;
+  pool.clock
+
+let fresh pool ?(width = 1) ?(must_frame = false) ~pointer ~rep name =
+  pool.next_id <- pool.next_id + 1;
+  let tn =
+    {
+      tn_id = pool.next_id;
+      tn_name = name;
+      tn_rep = rep;
+      tn_pointer = pointer;
+      tn_width = width;
+      tn_first = pool.clock;
+      tn_last = pool.clock;
+      tn_uses = 0;
+      tn_across_call = false;
+      tn_must_frame = must_frame;
+      tn_storage = None;
+    }
+  in
+  pool.tns <- tn :: pool.tns;
+  tn
+
+let touch pool tn =
+  tn.tn_uses <- tn.tn_uses + 1;
+  tn.tn_last <- max tn.tn_last pool.clock
+
+(* Mark every TN whose lifetime spans the current clock as crossing a
+   call (records a "call event" at the current time). *)
+let call_event pool =
+  let t = tick pool in
+  List.iter (fun tn -> if tn.tn_first < t then tn.tn_across_call <- true) pool.tns
+
+(* After lifetimes are final, close every TN at the current clock when it
+   may be re-entered (loop bodies): the caller extends [tn_last]
+   explicitly for loop-carried variables. *)
+let extend_to pool tn = tn.tn_last <- max tn.tn_last pool.clock
+
+let overlap a b = a.tn_first <= b.tn_last && b.tn_first <= a.tn_last
+
+(* Frame slot allocators. *)
+let alloc_pointer_slot pool =
+  let s = pool.n_pointer_slots in
+  pool.n_pointer_slots <- s + 1;
+  s
+
+let alloc_scratch_slot pool width =
+  let s = pool.n_scratch_slots in
+  pool.n_scratch_slots <- s + width;
+  s
+
+type result = {
+  r_pointer_slots : int;
+  r_scratch_slots : int;
+  r_in_registers : int;  (** TNs that won registers (bench X6 metric) *)
+}
+
+let pack ?(naive = false) ?(registers = [ 14; 15; 16; 17; 18; 19; 8; 9; 10; 11 ]) pool =
+  (* Priority: most-used first, then shorter lifetimes. *)
+  let order =
+    List.sort
+      (fun a b ->
+        let c = compare b.tn_uses a.tn_uses in
+        if c <> 0 then c else compare (a.tn_last - a.tn_first) (b.tn_last - b.tn_first))
+      pool.tns
+  in
+  let assignments : (int * tn) list ref = ref [] in
+  let in_regs = ref 0 in
+  List.iter
+    (fun tn ->
+      if tn.tn_storage <> None then ()
+      else if (not naive) && (not tn.tn_must_frame) && (not tn.tn_across_call) && tn.tn_width = 1
+      then begin
+        (* try a register with no overlapping occupant *)
+        let free r =
+          not
+            (List.exists (fun (r', tn') -> r = r' && overlap tn tn') !assignments)
+        in
+        match List.find_opt free registers with
+        | Some r ->
+            tn.tn_storage <- Some (Sreg r);
+            assignments := (r, tn) :: !assignments;
+            incr in_regs
+        | None ->
+            tn.tn_storage <-
+              Some
+                (if tn.tn_pointer then Sframe (alloc_pointer_slot pool)
+                 else Sscratch (alloc_scratch_slot pool tn.tn_width))
+      end
+      else
+        tn.tn_storage <-
+          Some
+            (if tn.tn_pointer then Sframe (alloc_pointer_slot pool)
+             else Sscratch (alloc_scratch_slot pool tn.tn_width)))
+    order;
+  {
+    r_pointer_slots = pool.n_pointer_slots;
+    r_scratch_slots = pool.n_scratch_slots;
+    r_in_registers = !in_regs;
+  }
+
+let storage tn =
+  match tn.tn_storage with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "TN %s not packed" tn.tn_name)
+
+let pp_tn fmt tn =
+  Format.fprintf fmt "TN%d %s rep=%s [%d,%d] uses=%d%s%s -> %s" tn.tn_id tn.tn_name
+    (Node.rep_name tn.tn_rep) tn.tn_first tn.tn_last tn.tn_uses
+    (if tn.tn_across_call then " xcall" else "")
+    (if tn.tn_must_frame then " frame!" else "")
+    (match tn.tn_storage with
+    | Some (Sreg r) -> S1_machine.Isa.reg_name r
+    | Some (Sframe i) -> Printf.sprintf "(FP %d)" (i + 1)
+    | Some (Sscratch i) -> Printf.sprintf "(TP %d)" i
+    | None -> "?")

@@ -1,0 +1,1 @@
+lib/transform/cse.ml: Backtrans Freshen Hashtbl List Node Printf Rules S1_analysis S1_ir Transcript

@@ -1,0 +1,1 @@
+lib/transform/rules.ml: Backtrans Float Freshen Fun List Node Option Printf S1_analysis S1_frontend S1_ir S1_machine S1_sexp Transcript

@@ -1,0 +1,1 @@
+lib/transform/simplify.ml: List Node Rules S1_analysis S1_ir Transcript

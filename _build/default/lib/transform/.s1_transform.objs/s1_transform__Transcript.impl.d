@@ -1,0 +1,1 @@
+lib/transform/transcript.ml: Format List

@@ -1,0 +1,134 @@
+(** Common-subexpression elimination — the paper's deferred phase.
+
+    "Common sub-expression elimination has not yet been implemented ...
+    its use is completely optional, for it only affects the efficiency of
+    the resulting code and can be expressed as a source-level
+    transformation using lambda-expressions." (§4.3)
+
+    This implements exactly that, as an optional phase (off by default,
+    matching the shipped compiler): repeated {e timeless} subexpressions
+    (pure, reading no mutable storage — the same judgement the
+    substitution rule uses) are bound once by a manifest lambda at the
+    least common ancestor of their occurrences:
+
+    [(+ (mul a b) (mul a b))  ==>  ((lambda (t) (+ t t)) (mul a b))]
+    (with [mul] standing for the multiplication operator).
+
+    The paper's thrashing worry — the source-level optimizer's
+    common-subexpression {e introduction} undoing the elimination — is
+    avoided structurally, as the paper suggests: META-SUBSTITUTE only
+    propagates multi-reference bindings whose complexity is trivial,
+    and CSE only eliminates expressions above that threshold. *)
+
+open S1_ir
+open Node
+
+(* Candidates keyed by an unambiguous rendering (variables print with
+   their unique ids). *)
+let fingerprint (n : node) = Backtrans.to_string ~ids:true n
+
+let min_complexity = 3
+
+(* Collect (fingerprint -> occurrence list), bottoming out at real
+   function boundaries, together with root paths for LCA computation. *)
+let candidates (root : node) =
+  let occs : (string, (node * node list) list) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk n path ~top =
+    let path = n :: path in
+    (match n.kind with
+    | Lambda l when (not top) && (l.l_strategy = Full_closure || l.l_strategy = Toplevel) ->
+        () (* separate function: CSE'd when that function is compiled *)
+    | _ ->
+        if Rules.timeless n && n.n_complexity >= min_complexity then begin
+          let key = fingerprint n in
+          let prev = try Hashtbl.find occs key with Not_found -> [] in
+          Hashtbl.replace occs key ((n, List.rev path) :: prev)
+        end;
+        List.iter (fun c -> walk c path ~top:false) (children n))
+  in
+  walk root [] ~top:true;
+  occs
+
+let lca_of paths root =
+  match paths with
+  | [] -> root
+  | first :: rest ->
+      let common a b =
+        let rec go a b acc =
+          match (a, b) with
+          | x :: a', y :: b' when x == y -> go a' b' (x :: acc)
+          | _ -> List.rev acc
+        in
+        go a b []
+      in
+      let prefix = List.fold_left common first rest in
+      (match List.rev prefix with x :: _ -> x | [] -> root)
+
+let counter = ref 0
+
+let children_transitive (n : node) =
+  let acc = ref [] in
+  iter (fun c -> if c != n then acc := c :: !acc) n;
+  !acc
+
+(* Perform one elimination; true if something changed. *)
+let eliminate_one (ts : Transcript.t) (root : node) : bool =
+  let occs = candidates root in
+  (* Prefer the most complex candidate so nested duplicates collapse
+     outside-in. *)
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ entries ->
+      match entries with
+      | (first, _) :: _ :: _ -> (
+          (* distinct node objects only (a node is its own duplicate when
+             hash-consed fingerprints collide — they cannot here, but an
+             occurrence may be a subtree of another; filter those) *)
+          let nodes = List.map fst entries in
+          let independent =
+            List.for_all
+              (fun a ->
+                List.for_all
+                  (fun b -> a == b || not (List.memq a (children_transitive b)))
+                  nodes)
+              nodes
+          in
+          if independent then
+            match !best with
+            | Some (b, _) when b.n_complexity >= first.n_complexity -> ()
+            | _ -> best := Some (first, entries))
+      | _ -> ())
+    occs;
+  match !best with
+  | None -> false
+  | Some (template, entries) ->
+      let nodes = List.map fst entries and paths = List.map snd entries in
+      let home = lca_of paths root in
+      let before = Backtrans.to_string home in
+      incr counter;
+      let v = mkvar (Printf.sprintf "CSE-%d" !counter) in
+      let init = Freshen.copy template in
+      List.iter
+        (fun n ->
+          n.kind <- Var v;
+          n.n_dirty <- true)
+        nodes;
+      (* ((lambda (v) <home>) init) *)
+      let inner = mk home.kind in
+      let lam = lambda ~name:"CSE" [ required v ] inner in
+      v.v_binder <- Some lam;
+      home.kind <- Call (lam, [ init ]);
+      home.n_dirty <- true;
+      Transcript.record ts ~before ~after:(Backtrans.to_string home)
+        ~rule:"COMMON-SUBEXPRESSION-ELIMINATION";
+      true
+
+let run ?(transcript = Transcript.create ~enabled:false ()) (root : node) : int =
+  let eliminated = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !eliminated < 50 do
+    S1_analysis.Analyze.refresh root;
+    if eliminate_one transcript root then incr eliminated else continue_ := false
+  done;
+  S1_analysis.Analyze.refresh root;
+  !eliminated

@@ -1,0 +1,31 @@
+(** The optimizer's debugging transcript.
+
+    Reproduces the format of the paper's §7 compile transcript:
+
+    {v
+    ;**** Optimizing this form: (+$F A B C)
+    ;**** to be this form: (+$F (+$F C B) A)
+    ;**** courtesy of META-EVALUATE-ASSOC-COMMUT-CALL
+    v} *)
+
+type entry = { before : string; after : string; rule : string }
+
+type t = { mutable entries : entry list; mutable enabled : bool }
+
+let create ?(enabled = true) () = { entries = []; enabled }
+
+let record t ~before ~after ~rule =
+  if t.enabled then t.entries <- { before; after; rule } :: t.entries
+
+let entries t = List.rev t.entries
+let rules_fired t = List.rev_map (fun e -> e.rule) t.entries |> List.rev
+let clear t = t.entries <- []
+
+let pp fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt ";**** Optimizing this form: %s@.;**** to be this form: %s@.;**** courtesy of %s@.@."
+        e.before e.after e.rule)
+    (entries t)
+
+let to_string t = Format.asprintf "%a" pp t

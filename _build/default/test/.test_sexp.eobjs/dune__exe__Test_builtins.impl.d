@@ -1,0 +1,1 @@
+test/test_builtins.ml: Alcotest List S1_core S1_interp S1_runtime String

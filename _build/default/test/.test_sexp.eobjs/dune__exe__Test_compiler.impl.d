@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest List Printf QCheck2 QCheck_alcotest S1_codegen S1_core S1_interp S1_machine S1_runtime S1_sexp S1_transform

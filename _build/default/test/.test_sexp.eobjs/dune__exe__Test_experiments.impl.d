@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Backtrans Float List Node Printf S1_codegen S1_core S1_frontend S1_interp S1_ir S1_machine S1_runtime S1_sexp S1_transform Str String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Backtrans List Printf QCheck2 QCheck_alcotest S1_codegen S1_core S1_frontend S1_interp S1_ir S1_machine S1_runtime S1_sexp S1_transform Str String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Backtrans Convert Freshen List Macroexp Node Option Prims S1_frontend S1_ir S1_sexp

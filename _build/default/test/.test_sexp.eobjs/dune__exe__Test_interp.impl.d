@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest List Obj Option Printf QCheck2 QCheck_alcotest Rt S1_frontend S1_interp S1_runtime S1_sexp

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Cpu Float Float36 Isa List Mem Printf QCheck2 QCheck_alcotest S1_machine String Tags Word

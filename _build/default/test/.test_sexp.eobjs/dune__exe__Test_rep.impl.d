@@ -1,0 +1,1 @@
+test/test_rep.ml: Alcotest List Node Printf S1_analysis S1_frontend S1_ir S1_rep S1_sexp S1_tnbind

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bignum Builtins Heap List Numerics Obj Option QCheck2 QCheck_alcotest Rt S1_machine S1_runtime S1_sexp String

@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest Float List QCheck2 QCheck_alcotest Reader S1_sexp Sexp String

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Backtrans Convert List QCheck2 QCheck_alcotest Rules S1_frontend S1_interp S1_ir S1_runtime S1_sexp S1_transform Simplify Str String Transcript

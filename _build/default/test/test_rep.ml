@@ -1,0 +1,256 @@
+(* Unit tests for the machine-dependent annotation phases: representation
+   analysis (WANTREP/ISREP, paper §6.2), pdl-number annotation (§6.3),
+   and TNBIND packing (§6.1). *)
+
+module Reader = S1_sexp.Reader
+module Sexp = S1_sexp.Sexp
+open S1_ir
+module Repan = S1_rep.Repan
+module Pdlnum = S1_rep.Pdlnum
+module Tn = S1_tnbind.Tnbind
+
+let prepare ?specials src =
+  let n =
+    match Reader.parse_one src with
+    | Sexp.List (Sexp.Sym "DEFUN" :: _) as d -> snd (S1_frontend.Convert.defun ?specials d)
+    | e -> S1_frontend.Convert.expression ?specials e
+  in
+  S1_analysis.Analyze.run n;
+  Repan.run n;
+  Pdlnum.run n;
+  n
+
+let find_node pred root =
+  let found = ref None in
+  Node.iter (fun n -> if !found = None && pred n then found := Some n) root;
+  match !found with Some n -> n | None -> Alcotest.fail "node not found"
+
+let is_call_to name n =
+  match n.Node.kind with
+  | Node.Call ({ Node.kind = Node.Term (Sexp.Sym f); _ }, _) -> f = name
+  | _ -> false
+
+(* WANTREP --------------------------------------------------------------- *)
+
+let test_wantrep_if_predicate_is_jump () =
+  (* "for an if expression (if p x y), the WANTREP for p is JUMP" *)
+  let n = prepare "(defun f (p x y) (if (eq p x) x y))" in
+  let pred = find_node (is_call_to "EQ") n in
+  Alcotest.(check string) "predicate wants JUMP" "JUMP" (Node.rep_name pred.Node.n_wantrep)
+
+let test_wantrep_float_args () =
+  (* "for the expression (+$f x y), the WANTREP for x and for y is SWFLO" *)
+  let n = prepare "(defun f (x y) (+$f x y))" in
+  let add = find_node (is_call_to "+$F") n in
+  (match add.Node.kind with
+  | Node.Call (_, [ a; b ]) ->
+      Alcotest.(check string) "x wants SWFLO" "SWFLO" (Node.rep_name a.Node.n_wantrep);
+      Alcotest.(check string) "y wants SWFLO" "SWFLO" (Node.rep_name b.Node.n_wantrep)
+  | _ -> Alcotest.fail "shape");
+  (* and its ISREP is always SWFLO *)
+  Alcotest.(check string) "+$f delivers SWFLO" "SWFLO" (Node.rep_name add.Node.n_isrep)
+
+let test_wantrep_progn_drops_values () =
+  let n = prepare "(defun f (a) (progn (g a) a))" in
+  let ga = find_node (is_call_to "G") n in
+  Alcotest.(check string) "discarded value wants NONE" "NONE"
+    (Node.rep_name ga.Node.n_wantrep)
+
+(* The paper's worked ISREP example:
+   (+$f (if p (sqrt$f q) (car r)) 3.0) — the if's ISREP is SWFLO because
+   the sqrt arm already matches and the car arm is convertible. *)
+let test_isrep_if_mixing () =
+  let n = prepare "(defun f (p q r) (+$f (if p (sqrt$f q) (car r)) 3.0))" in
+  let if_node =
+    find_node (fun n -> match n.Node.kind with Node.If _ -> true | _ -> false) n
+  in
+  Alcotest.(check string) "if wants SWFLO" "SWFLO" (Node.rep_name if_node.Node.n_wantrep);
+  Alcotest.(check string) "if delivers SWFLO (sqrt arm unconverted)" "SWFLO"
+    (Node.rep_name if_node.Node.n_isrep);
+  (* both-pointer arms deliver POINTER *)
+  let n2 = prepare "(defun f (p q r) (+$f (if p (car q) (car r)) 3.0))" in
+  let if2 =
+    find_node (fun n -> match n.Node.kind with Node.If _ -> true | _ -> false) n2
+  in
+  Alcotest.(check string) "pointer arms deliver POINTER" "POINTER"
+    (Node.rep_name if2.Node.n_isrep)
+
+let test_variable_unification () =
+  (* a let-bound float intermediate gets a raw representation when all
+     references agree *)
+  let n = prepare "(defun f (a) (declare (single-float a)) (let ((t1 (*$f a a))) (+$f t1 t1 1.0)))" in
+  let vars = ref [] in
+  Node.iter
+    (fun nd ->
+      match nd.Node.kind with
+      | Node.Lambda l ->
+          List.iter (fun p -> vars := (p.Node.p_var.Node.v_name, p.Node.p_var.Node.v_rep) :: !vars)
+            l.Node.l_params
+      | _ -> ())
+    n;
+  (match List.assoc_opt "T1" !vars with
+  | Some rep -> Alcotest.(check string) "t1 unified to SWFLO" "SWFLO" (Node.rep_name rep)
+  | None -> Alcotest.fail "t1 not found");
+  match List.assoc_opt "A" !vars with
+  | Some rep -> Alcotest.(check string) "declared param raw" "SWFLO" (Node.rep_name rep)
+  | None -> Alcotest.fail "a not found"
+
+let test_disagreeing_references_stay_pointer () =
+  (* "if not all the references to a variable agree ... POINTER can
+     always be used" *)
+  let n = prepare "(defun f (a) (let ((v (*$f a 2.0))) (cons v (+$f v 1.0))))" in
+  let vars = ref [] in
+  Node.iter
+    (fun nd ->
+      match nd.Node.kind with
+      | Node.Lambda l ->
+          List.iter (fun p -> vars := (p.Node.p_var.Node.v_name, p.Node.p_var.Node.v_rep) :: !vars)
+            l.Node.l_params
+      | _ -> ())
+    n;
+  match List.assoc_opt "V" !vars with
+  | Some rep -> Alcotest.(check string) "mixed-use stays POINTER" "POINTER" (Node.rep_name rep)
+  | None -> Alcotest.fail "v not found"
+
+(* Pdl annotation --------------------------------------------------------- *)
+
+let test_pdlokp_safe_consumer () =
+  (* the paper's rule: in (+$f x y) context a pdl number is fine; in
+     (rplaca x y) it is not *)
+  let n = prepare "(defun f (a b c) (eql (+$f a b) c))" in
+  let add = find_node (is_call_to "+$F") n in
+  Alcotest.(check bool) "+$f arg of eql is authorized" true (add.Node.n_pdlokp >= 0);
+  Alcotest.(check bool) "+$f might produce a number" true add.Node.n_pdlnump;
+  let n2 = prepare "(defun f (a b c) (rplaca c (+$f a b)))" in
+  let add2 = find_node (is_call_to "+$F") n2 in
+  Alcotest.(check bool) "rplaca argument not authorized" true (add2.Node.n_pdlokp < 0)
+
+let test_pdlokp_points_at_authorizer () =
+  (* "(atan (if p x y) 3.0): x has a non-false PDLOKP property that
+     points to the atan node, not the if node" *)
+  let n = prepare "(defun f (p x y) (atan (if p (+$f x 1.0) (+$f y 2.0)) 3.0))" in
+  let atan_node = find_node (is_call_to "ATAN") n in
+  let arm = find_node (is_call_to "+$F") n in
+  Alcotest.(check int) "arm's authorizer is the atan node" atan_node.Node.n_id
+    arm.Node.n_pdlokp
+
+let test_pdl_not_for_returns () =
+  (* "returning a value from a procedure is not a safe operation" *)
+  let n = prepare "(defun f (a b) (+$f a b))" in
+  let add = find_node (is_call_to "+$F") n in
+  Alcotest.(check bool) "function result not pdl-authorized" true (add.Node.n_pdlokp < 0)
+
+let test_pdl_not_for_tail_call_args () =
+  let n = prepare "(defun f (a n) (if (zerop n) a (f (+$f a 1.0) (1- n))))" in
+  (* the +$f feeding the tail call must not be pdl-authorized: TCALL
+     reclaims the frame *)
+  let add = find_node (is_call_to "+$F") n in
+  Alcotest.(check bool) "tail-call argument not authorized" true (add.Node.n_pdlokp < 0)
+
+(* TNBIND ------------------------------------------------------------------- *)
+
+let test_tnbind_overlap_and_packing () =
+  let pool = Tn.create_pool () in
+  let a = Tn.fresh pool ~pointer:true ~rep:Node.POINTER "A" in
+  a.Tn.tn_first <- 0;
+  a.Tn.tn_last <- 10;
+  a.Tn.tn_uses <- 5;
+  let b = Tn.fresh pool ~pointer:true ~rep:Node.POINTER "B" in
+  b.Tn.tn_first <- 5;
+  b.Tn.tn_last <- 15;
+  b.Tn.tn_uses <- 4;
+  let c = Tn.fresh pool ~pointer:true ~rep:Node.POINTER "C" in
+  c.Tn.tn_first <- 11;
+  c.Tn.tn_last <- 20;
+  c.Tn.tn_uses <- 3;
+  let r = Tn.pack ~registers:[ 14; 15 ] pool in
+  (* a and b overlap: different registers; c doesn't overlap a: may share *)
+  Alcotest.(check int) "all in registers" 3 r.Tn.r_in_registers;
+  let reg t = match Tn.storage t with Tn.Sreg r -> r | _ -> -1 in
+  Alcotest.(check bool) "a and b in different registers" true (reg a <> reg b);
+  Alcotest.(check bool) "c reuses a's register" true (reg c = reg a || reg c = reg b)
+
+let test_tnbind_across_call_goes_to_frame () =
+  let pool = Tn.create_pool () in
+  let a = Tn.fresh pool ~pointer:true ~rep:Node.POINTER "A" in
+  a.Tn.tn_across_call <- true;
+  a.Tn.tn_uses <- 10;
+  let r = Tn.pack pool in
+  Alcotest.(check int) "no registers" 0 r.Tn.r_in_registers;
+  (match Tn.storage a with
+  | Tn.Sframe _ -> ()
+  | _ -> Alcotest.fail "expected pointer frame slot");
+  Alcotest.(check int) "one pointer slot" 1 r.Tn.r_pointer_slots
+
+let test_tnbind_raw_values_get_scratch () =
+  let pool = Tn.create_pool () in
+  let a = Tn.fresh pool ~pointer:false ~rep:Node.SWFLO "F" in
+  a.Tn.tn_across_call <- true;
+  let r = Tn.pack pool in
+  (match Tn.storage a with
+  | Tn.Sscratch _ -> ()
+  | _ -> Alcotest.fail "expected scratch slot");
+  Alcotest.(check int) "scratch counted" 1 r.Tn.r_scratch_slots;
+  Alcotest.(check int) "no pointer slots" 0 r.Tn.r_pointer_slots
+
+let test_tnbind_naive_mode () =
+  let pool = Tn.create_pool () in
+  let a = Tn.fresh pool ~pointer:true ~rep:Node.POINTER "A" in
+  a.Tn.tn_uses <- 9;
+  let r = Tn.pack ~naive:true pool in
+  Alcotest.(check int) "naive: nothing in registers" 0 r.Tn.r_in_registers;
+  match Tn.storage a with
+  | Tn.Sframe _ -> ()
+  | _ -> Alcotest.fail "expected frame slot"
+
+let test_tnbind_register_exhaustion () =
+  let pool = Tn.create_pool () in
+  let tns =
+    List.init 5 (fun i ->
+        let t = Tn.fresh pool ~pointer:true ~rep:Node.POINTER (Printf.sprintf "T%d" i) in
+        t.Tn.tn_first <- 0;
+        t.Tn.tn_last <- 100;
+        t.Tn.tn_uses <- 10 - i;
+        t)
+  in
+  let r = Tn.pack ~registers:[ 14; 15 ] pool in
+  Alcotest.(check int) "two in registers" 2 r.Tn.r_in_registers;
+  Alcotest.(check int) "three spilled" 3 r.Tn.r_pointer_slots;
+  (* the most-used TNs won the registers *)
+  (match Tn.storage (List.nth tns 0) with
+  | Tn.Sreg _ -> ()
+  | _ -> Alcotest.fail "hottest TN should win a register");
+  match Tn.storage (List.nth tns 4) with
+  | Tn.Sframe _ -> ()
+  | _ -> Alcotest.fail "coldest TN should spill"
+
+let () =
+  Alcotest.run "rep-tnbind"
+    [
+      ( "wantrep-isrep",
+        [
+          Alcotest.test_case "if predicate wants JUMP" `Quick test_wantrep_if_predicate_is_jump;
+          Alcotest.test_case "float args want SWFLO" `Quick test_wantrep_float_args;
+          Alcotest.test_case "progn drops values" `Quick test_wantrep_progn_drops_values;
+          Alcotest.test_case "if arm mixing (paper example)" `Quick test_isrep_if_mixing;
+          Alcotest.test_case "variable unification" `Quick test_variable_unification;
+          Alcotest.test_case "disagreeing refs stay POINTER" `Quick
+            test_disagreeing_references_stay_pointer;
+        ] );
+      ( "pdl",
+        [
+          Alcotest.test_case "safe vs unsafe consumers" `Quick test_pdlokp_safe_consumer;
+          Alcotest.test_case "authorizer pointer (paper atan example)" `Quick
+            test_pdlokp_points_at_authorizer;
+          Alcotest.test_case "returns are unsafe" `Quick test_pdl_not_for_returns;
+          Alcotest.test_case "tail-call args are unsafe" `Quick test_pdl_not_for_tail_call_args;
+        ] );
+      ( "tnbind",
+        [
+          Alcotest.test_case "overlap and packing" `Quick test_tnbind_overlap_and_packing;
+          Alcotest.test_case "across-call to frame" `Quick test_tnbind_across_call_goes_to_frame;
+          Alcotest.test_case "raw values to scratch" `Quick test_tnbind_raw_values_get_scratch;
+          Alcotest.test_case "naive mode" `Quick test_tnbind_naive_mode;
+          Alcotest.test_case "register exhaustion" `Quick test_tnbind_register_exhaustion;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the s-expression reader and printer. *)
+
+open S1_sexp
+
+let parse = Reader.parse_one
+let parse_all = Reader.parse_string
+
+let check_sexp msg expected actual =
+  Alcotest.check
+    (Alcotest.testable Sexp.pp Sexp.equal)
+    msg expected actual
+
+let test_atoms () =
+  check_sexp "symbol upcased" (Sexp.Sym "FOO") (parse "foo");
+  check_sexp "symbol with dollar" (Sexp.Sym "+$F") (parse "+$f");
+  check_sexp "fixnum" (Sexp.Int 42) (parse "42");
+  check_sexp "negative" (Sexp.Int (-7)) (parse "-7");
+  check_sexp "plus sign" (Sexp.Int 7) (parse "+7");
+  check_sexp "ratio" (Sexp.Ratio (2, 3)) (parse "2/3");
+  check_sexp "negative ratio" (Sexp.Ratio (-2, 3)) (parse "-2/3");
+  check_sexp "float" (Sexp.Float (3.0, Sexp.Single)) (parse "3.0");
+  check_sexp "double float" (Sexp.Float (1.5, Sexp.Double)) (parse "1.5d0");
+  check_sexp "half float" (Sexp.Float (1.5, Sexp.Half)) (parse "1.5h0");
+  check_sexp "exponent float" (Sexp.Float (1500.0, Sexp.Single)) (parse "1.5e3");
+  check_sexp "string" (Sexp.Str "hi there") (parse "\"hi there\"");
+  check_sexp "string escape" (Sexp.Str "a\"b") (parse "\"a\\\"b\"");
+  check_sexp "char" (Sexp.Char 'a') (parse "#\\a");
+  check_sexp "char space" (Sexp.Char ' ') (parse "#\\Space");
+  check_sexp "minus is a symbol" (Sexp.Sym "-") (parse "-");
+  check_sexp "1+ is a symbol" (Sexp.Sym "1+") (parse "1+")
+
+let test_bignum_literals () =
+  (* 36-bit fixnum range boundary *)
+  check_sexp "max fixnum" (Sexp.Int Reader.fixnum_max)
+    (parse (string_of_int Reader.fixnum_max));
+  check_sexp "min fixnum" (Sexp.Int Reader.fixnum_min)
+    (parse (string_of_int Reader.fixnum_min));
+  (match parse "123456789012345678901234567890" with
+  | Sexp.Big "123456789012345678901234567890" -> ()
+  | other -> Alcotest.failf "expected Big, got %a" Sexp.pp other);
+  match parse "-123456789012345678901234567890" with
+  | Sexp.Big "-123456789012345678901234567890" -> ()
+  | other -> Alcotest.failf "expected negative Big, got %a" Sexp.pp other
+
+let test_lists () =
+  check_sexp "empty" Sexp.nil (parse "()");
+  check_sexp "flat"
+    (Sexp.List [ Sexp.Sym "A"; Sexp.Sym "B"; Sexp.Sym "C" ])
+    (parse "(a b c)");
+  check_sexp "nested"
+    (Sexp.List [ Sexp.Sym "A"; Sexp.List [ Sexp.Sym "B"; Sexp.Int 1 ] ])
+    (parse "(a (b 1))");
+  check_sexp "dotted"
+    (Sexp.Dotted ([ Sexp.Sym "A" ], Sexp.Sym "B"))
+    (parse "(a . b)");
+  check_sexp "dotted collapses to proper"
+    (Sexp.List [ Sexp.Sym "A"; Sexp.Sym "B" ])
+    (parse "(a . (b))");
+  check_sexp "multi-element dotted"
+    (Sexp.Dotted ([ Sexp.Sym "A"; Sexp.Sym "B" ], Sexp.Int 3))
+    (parse "(a b . 3)")
+
+let test_sugar () =
+  check_sexp "quote" (Sexp.quote (Sexp.Sym "X")) (parse "'x");
+  check_sexp "function"
+    (Sexp.List [ Sexp.Sym "FUNCTION"; Sexp.Sym "F" ])
+    (parse "#'f");
+  check_sexp "quasiquote"
+    (Sexp.List [ Sexp.Sym "QUASIQUOTE"; Sexp.List [ Sexp.Sym "A"; Sexp.List [ Sexp.Sym "UNQUOTE"; Sexp.Sym "B" ] ] ])
+    (parse "`(a ,b)");
+  check_sexp "unquote-splicing"
+    (Sexp.List [ Sexp.Sym "QUASIQUOTE"; Sexp.List [ Sexp.List [ Sexp.Sym "UNQUOTE-SPLICING"; Sexp.Sym "XS" ] ] ])
+    (parse "`(,@xs)")
+
+let test_comments () =
+  check_sexp "line comment" (Sexp.Int 2) (parse "; one\n2");
+  check_sexp "block comment" (Sexp.Int 3) (parse "#| hi |# 3");
+  check_sexp "nested block comment" (Sexp.Int 4) (parse "#| a #| b |# c |# 4");
+  Alcotest.(check int) "multiple forms" 3 (List.length (parse_all "1 2 3"))
+
+let test_errors () =
+  let fails s =
+    match parse_all s with
+    | exception Reader.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  fails "(";
+  fails ")";
+  fails "(a . )";
+  fails "(a . b c)";
+  fails "\"unterminated";
+  fails "#| unterminated";
+  fails "(1/0)";
+  fails "#z"
+
+let test_paper_programs () =
+  (* The paper's example programs must parse. *)
+  let exptl =
+    "(defun exptl (x n a)\n\
+    \  (cond ((zerop n) a)\n\
+    \        ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))\n\
+    \        (t (exptl (* x x) (floor (/ n 2)) a))))"
+  in
+  let quadratic =
+    "(defun quadratic (a b c)\n\
+    \  (let ((d (- (* b b) (* 4.0 a c))))\n\
+    \    (cond ((< d 0) '())\n\
+    \          ((= d 0) (list (/ (- b) (* 2.0 a))))\n\
+    \          (t (let ((2a (* 2.0 a)) (sd (sqrt d)))\n\
+    \               (list (/ (+ (- b) sd) 2a)\n\
+    \                     (/ (- (- b) sd) 2a)))))))"
+  in
+  let testfn =
+    "(defun testfn (a &optional (b 3.0) (c a))\n\
+    \  (let ((d (+$f a b c)) (e (*$f a b c)))\n\
+    \    (let ((q (sin$f e)))\n\
+    \      (frotz d e (max$f d e))\n\
+    \      q)))"
+  in
+  List.iter
+    (fun src ->
+      match parse src with
+      | Sexp.List (Sexp.Sym "DEFUN" :: _) -> ()
+      | other -> Alcotest.failf "unexpected parse: %a" Sexp.pp other)
+    [ exptl; quadratic; testfn ]
+
+(* Round trip property: print then reparse gives an equal sexp. *)
+let gen_sexp =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let atom =
+        oneof
+          [
+            map (fun s -> Sexp.Sym (String.uppercase_ascii s))
+              (string_size ~gen:(char_range 'a' 'z') (int_range 1 8));
+            map (fun i -> Sexp.Int i) (int_range (-1000000) 1000000);
+            map (fun f -> Sexp.Float (Float.of_int f /. 16.0, Sexp.Single))
+              (int_range (-10000) 10000);
+            map2 (fun n d -> Sexp.Ratio (n, abs d + 1)) (int_range (-99) 99) (int_range 0 99);
+            map (fun s -> Sexp.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 6));
+          ]
+      in
+      if n = 0 then atom
+      else
+        frequency
+          [
+            (3, atom);
+            (1, map (fun xs -> Sexp.List xs) (list_size (int_range 0 4) (self (n / 2))));
+          ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"print/parse round trip" gen_sexp (fun s ->
+      Sexp.equal s (parse (Sexp.to_string s)))
+
+let () =
+  Alcotest.run "sexp"
+    [
+      ( "reader",
+        [
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "bignum literals" `Quick test_bignum_literals;
+          Alcotest.test_case "lists" `Quick test_lists;
+          Alcotest.test_case "sugar" `Quick test_sugar;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "paper programs" `Quick test_paper_programs;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]
