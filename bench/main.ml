@@ -20,7 +20,12 @@ module F36 = S1_machine.Float36
 module Gen = S1_codegen.Gen
 module Rules = S1_transform.Rules
 
+module Json = S1_obs.Obs.Json
+
+let current_section = ref ""
+
 let section title =
+  current_section := title;
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let subsection title = Printf.printf "\n--- %s ---\n" title
@@ -31,33 +36,82 @@ type measurement = {
   m_cycles : int;
   m_instructions : int;
   m_movs : int;
+  m_mem_traffic : int;
   m_calls : int;
   m_tcalls : int;
   m_svcs : int;
   m_stack_high : int;
   m_heap_words : int;
+  m_wall_ns : int;
   m_result : string;
 }
 
-let measure ?(options = Gen.default_options) ?(rules = Rules.default_config) ~defs call =
-  let c = C.create ~options ~rules () in
+(* Every measurement row, in run order: the JSON perf trajectory written
+   to BENCH_RESULTS.json at exit for future sessions to regress against. *)
+let records : Json.t list ref = ref []
+
+let record ~label (m : measurement) =
+  records :=
+    Json.Obj
+      [
+        ("experiment", Json.Str !current_section);
+        ("name", Json.Str label);
+        ("cycles", Json.Int m.m_cycles);
+        ("instructions", Json.Int m.m_instructions);
+        ("movs", Json.Int m.m_movs);
+        ("mem_traffic", Json.Int m.m_mem_traffic);
+        ("calls", Json.Int m.m_calls);
+        ("tcalls", Json.Int m.m_tcalls);
+        ("svcs", Json.Int m.m_svcs);
+        ("stack_high", Json.Int m.m_stack_high);
+        ("heap_words", Json.Int m.m_heap_words);
+        ("wall_ns", Json.Int m.m_wall_ns);
+        ("result", Json.Str m.m_result);
+      ]
+    :: !records
+
+let write_results file =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "s1lisp.bench/1");
+        ("rows", Json.Arr (List.rev !records));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nWrote %d measurement rows to %s\n" (List.length !records) file
+
+let measure ?(options = Gen.default_options) ?(rules = Rules.default_config) ?(cse = false)
+    ?label ~defs call =
+  let c = C.create ~options ~rules ~cse () in
   if defs <> "" then ignore (C.eval_string c defs);
   ignore (C.eval_string c call) (* warm: constants interned, caches built *);
   Cpu.reset_stats c.C.rt.Rt.cpu;
   let before_heap = (Heap.stats c.C.rt.Rt.heap).Heap.words_allocated in
+  let t0 = Unix.gettimeofday () in
   let r = C.eval_string c call in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   let s = c.C.rt.Rt.cpu.Cpu.stats in
-  {
-    m_cycles = s.Cpu.cycles;
-    m_instructions = s.Cpu.instructions;
-    m_movs = s.Cpu.movs;
-    m_calls = s.Cpu.calls;
-    m_tcalls = s.Cpu.tcalls;
-    m_svcs = s.Cpu.svcs;
-    m_stack_high = s.Cpu.stack_high;
-    m_heap_words = (Heap.stats c.C.rt.Rt.heap).Heap.words_allocated - before_heap;
-    m_result = C.print_value c r;
-  }
+  let m =
+    {
+      m_cycles = s.Cpu.cycles;
+      m_instructions = s.Cpu.instructions;
+      m_movs = s.Cpu.movs;
+      m_mem_traffic = s.Cpu.mem_traffic;
+      m_calls = s.Cpu.calls;
+      m_tcalls = s.Cpu.tcalls;
+      m_svcs = s.Cpu.svcs;
+      m_stack_high = s.Cpu.stack_high;
+      m_heap_words = (Heap.stats c.C.rt.Rt.heap).Heap.words_allocated - before_heap;
+      m_wall_ns = wall_ns;
+      m_result = C.print_value c r;
+    }
+  in
+  record ~label:(match label with Some l -> l | None -> call) m;
+  m
 
 let row name m extra =
   Printf.printf "  %-34s %10d cycles %8d instrs %6d movs%s\n" name m.m_cycles
@@ -246,15 +300,16 @@ let x3 () =
   let call = "(horner 2.0 1.0 -3.0 0.5 4.0 -1.0)" in
   let ideal = ideal_kernel_cycles () in
   Printf.printf "  %-34s %10d cycles\n" "ideal hand assembly (= FORTRAN)" ideal;
-  let m1 = measure ~defs:declared_horner call in
+  let m1 = measure ~label:"compiled, declared" ~defs:declared_horner call in
   row "compiled, declared" m1
     (Printf.sprintf "  (%.1fx ideal, incl. call+frame+boxing)"
        (float_of_int m1.m_cycles /. float_of_int ideal));
-  let m2 = measure ~defs:generic_horner call in
+  let m2 = measure ~label:"compiled, generic (no decls)" ~defs:generic_horner call in
   row "compiled, generic (no decls)" m2
     (Printf.sprintf "  (%.1fx declared)" (float_of_int m2.m_cycles /. float_of_int m1.m_cycles));
   let m3 =
-    measure ~options:{ Gen.default_options with Gen.inline_prims = false }
+    measure ~label:"compiled, no inline prims"
+      ~options:{ Gen.default_options with Gen.inline_prims = false }
       ~defs:declared_horner call
   in
   row "compiled, no inline prims" m3
@@ -268,8 +323,8 @@ let x3 () =
     "(defun fsum (n acc)\n\
     \  (if (zerop n) acc (fsum (1- n) (+ 0.25 (* 0.5 (+ 0.125 (* acc 0.99)))))))"
   in
-  let md = measure ~defs:fsum "(fsum 1000 0.0)" in
-  let mg = measure ~defs:gsum "(fsum 1000 0.0)" in
+  let md = measure ~label:"declared float loop" ~defs:fsum "(fsum 1000 0.0)" in
+  let mg = measure ~label:"generic float loop" ~defs:gsum "(fsum 1000 0.0)" in
   row "declared float loop" md "";
   row "generic float loop" mg
     (Printf.sprintf "  (%.1fx declared)" (float_of_int mg.m_cycles /. float_of_int md.m_cycles));
@@ -297,7 +352,7 @@ let x4 () =
   Printf.printf "  %-28s %14s %12s %10s\n" "configuration" "heap words" "cycles" "services";
   List.iter
     (fun (name, options) ->
-      let m = measure ~options ~defs "(floop 500 0)" in
+      let m = measure ~label:name ~options ~defs "(floop 500 0)" in
       Printf.printf "  %-28s %14d %12d %10d\n" name m.m_heap_words m.m_cycles m.m_svcs)
     [
       ("pdl numbers on", Gen.default_options);
@@ -320,8 +375,14 @@ let x5 () =
       \  (sqrt (+ (* (- x2 x1) (- x2 x1)) (* (- y2 y1) (- y2 y1)))))"
       decl
   in
-  let m1 = measure ~defs:(probe "(declare (single-float x1 y1 x2 y2))") "(dist 0.0 0.0 3.0 4.0)" in
-  let m2 = measure ~defs:(probe "(progn)") "(dist 0.0 0.0 3.0 4.0)" in
+  let m1 =
+    measure ~label:"declared: ops specialize to $F"
+      ~defs:(probe "(declare (single-float x1 y1 x2 y2))") "(dist 0.0 0.0 3.0 4.0)"
+  in
+  let m2 =
+    measure ~label:"undeclared: generic arithmetic" ~defs:(probe "(progn)")
+      "(dist 0.0 0.0 3.0 4.0)"
+  in
   row "declared: ops specialize to $F" m1 (Printf.sprintf "  => %s" m1.m_result);
   row "undeclared: generic arithmetic" m2
     (Printf.sprintf "  (%.1fx declared)" (float_of_int m2.m_cycles /. float_of_int m1.m_cycles));
@@ -340,14 +401,9 @@ let x6 () =
     "mem traffic";
   List.iter
     (fun (name, options) ->
-      let c = C.create ~options () in
-      ignore (C.eval_string c defs);
-      ignore (C.eval_string c call);
-      Cpu.reset_stats c.C.rt.Rt.cpu;
-      ignore (C.eval_string c call);
-      let s = c.C.rt.Rt.cpu.Cpu.stats in
-      Printf.printf "  %-28s %10d %10d %8d %12d\n" name s.Cpu.cycles s.Cpu.instructions
-        s.Cpu.movs s.Cpu.mem_traffic)
+      let m = measure ~label:name ~options ~defs call in
+      Printf.printf "  %-28s %10d %10d %8d %12d\n" name m.m_cycles m.m_instructions
+        m.m_movs m.m_mem_traffic)
     [
       ("TNBIND packing", Gen.default_options);
       ("naive (all frame slots)", { Gen.default_options with Gen.use_tnbind = false });
@@ -371,7 +427,7 @@ let x7 () =
   Printf.printf "  %-28s %12s %10s\n" "configuration" "cycles" "services";
   List.iter
     (fun (name, options) ->
-      let m = measure ~options ~defs "(spin 300 0)" in
+      let m = measure ~label:name ~options ~defs "(spin 300 0)" in
       Printf.printf "  %-28s %12d %10d\n" name m.m_cycles m.m_svcs)
     [
       ("entry caching", Gen.default_options);
@@ -399,7 +455,7 @@ let x8 () =
   Printf.printf "  %-28s %12s %10s\n" "configuration" "cycles" "instrs";
   List.iter
     (fun (name, rules) ->
-      let m = measure ~rules ~defs "(shape 7 200 0)" in
+      let m = measure ~label:name ~rules ~defs "(shape 7 200 0)" in
       Printf.printf "  %-28s %12d %10d\n" name m.m_cycles m.m_instructions)
     [ ("optimizer on", Rules.default_config); ("optimizer off", Rules.nothing) ]
 
@@ -414,8 +470,8 @@ let x9 () =
      (defun churn (k acc) (if (zerop k) acc (churn (1- k) (+ acc (funcall (make-adder k) k)))))\n\
      (defun plain (k acc) (if (zerop k) acc (plain (1- k) (+ acc (+ k k)))))"
   in
-  let m1 = measure ~defs "(churn 200 0)" in
-  let m2 = measure ~defs "(plain 200 0)" in
+  let m1 = measure ~label:"closure per iteration" ~defs "(churn 200 0)" in
+  let m2 = measure ~label:"open-coded equivalent" ~defs "(plain 200 0)" in
   Printf.printf "  %-34s %10d cycles %8d heap words  => %s\n" "closure per iteration" m1.m_cycles
     m1.m_heap_words m1.m_result;
   Printf.printf "  %-34s %10d cycles %8d heap words  => %s\n" "open-coded equivalent" m2.m_cycles
@@ -438,7 +494,7 @@ let x10 () =
   Printf.printf "  %-28s %12s %10s\n" "configuration" "cycles" "instrs";
   List.iter
     (fun (name, options) ->
-      let m = measure ~options ~defs "(grade 42 0 300)" in
+      let m = measure ~label:name ~options ~defs "(grade 42 0 300)" in
       Printf.printf "  %-28s %12d %10d\n" name m.m_cycles m.m_instructions)
     [
       ("no peephole (as shipped)", Gen.default_options);
@@ -460,13 +516,8 @@ let x11 () =
   Printf.printf "  %-28s %12s %10s\n" "configuration" "cycles" "services";
   List.iter
     (fun (name, cse) ->
-      let c = C.create ~cse () in
-      ignore (C.eval_string c defs);
-      ignore (C.eval_string c "(q 3 4 100 0)");
-      Cpu.reset_stats c.C.rt.Rt.cpu;
-      ignore (C.eval_string c "(q 3 4 100 0)");
-      let st = c.C.rt.Rt.cpu.Cpu.stats in
-      Printf.printf "  %-28s %12d %10d\n" name st.Cpu.cycles st.Cpu.svcs)
+      let m = measure ~label:name ~cse ~defs "(q 3 4 100 0)" in
+      Printf.printf "  %-28s %12d %10d\n" name m.m_cycles m.m_svcs)
     [ ("no CSE (as shipped)", false); ("with CSE", true) ];
   print_endline "  -> repeated arithmetic binds once, via a manifest lambda"
 
@@ -493,7 +544,7 @@ let x12 () =
     "tail calls" "stack" "result";
   List.iter
     (fun (name, defs, call) ->
-      let m = measure ~defs call in
+      let m = measure ~label:name ~defs call in
       Printf.printf "  %-22s %14d %10d %10d %10d  %s\n" name m.m_cycles m.m_calls
         m.m_tcalls m.m_stack_high m.m_result)
     [
@@ -541,21 +592,34 @@ let wall_clock () =
 
 let () =
   let want_wall = Array.exists (fun a -> a = "wall") Sys.argv in
-  t1 ();
-  t2_t3 ();
-  t4_e7 ();
-  e5 ();
-  e6 ();
-  x1 ();
-  x3 ();
-  x4 ();
-  x5 ();
-  x6 ();
-  x7 ();
-  x8 ();
-  x9 ();
-  x10 ();
-  x11 ();
-  x12 ();
-  if want_wall then wall_clock ();
+  let smoke = Array.exists (fun a -> a = "smoke") Sys.argv in
+  if smoke then begin
+    (* quick CI subset: one structural table plus the cheap quantitative
+       experiments, still emitting a full BENCH_RESULTS.json *)
+    t1 ();
+    x3 ();
+    x4 ();
+    x5 ();
+    x6 ()
+  end
+  else begin
+    t1 ();
+    t2_t3 ();
+    t4_e7 ();
+    e5 ();
+    e6 ();
+    x1 ();
+    x3 ();
+    x4 ();
+    x5 ();
+    x6 ();
+    x7 ();
+    x8 ();
+    x9 ();
+    x10 ();
+    x11 ();
+    x12 ();
+    if want_wall then wall_clock ()
+  end;
+  write_results "BENCH_RESULTS.json";
   print_endline "\nAll experiments complete.  See EXPERIMENTS.md for the recorded results."

@@ -9,14 +9,65 @@
      s1lc --phases                         print the Table 1 phase list
      s1lc --interpret file.lisp            run through the interpreter
      s1lc --repl                           interactive read-eval-print loop
-     s1lc --stats ...                      print simulator statistics at exit *)
+     s1lc --stats ...                      print simulator statistics at exit
+     s1lc --timings ...                    per-phase wall timings + counters
+     s1lc --profile ...                    PC-level cycle profile by function
+     s1lc --metrics out.json ...           write all of the above as JSON *)
 
 module C = S1_core.Compiler
 module Rt = S1_runtime.Rt
 module Reader = S1_sexp.Reader
+module Cpu = S1_machine.Cpu
+module Obs = S1_obs.Obs
+module Json = S1_obs.Obs.Json
 
-let run phases listing transcript tns interpret repl stats unchecked no_opt cse peephole
-    evals files =
+let stats_json (s : Cpu.stats) : Json.t =
+  Json.Obj
+    [
+      ("cycles", Json.Int s.Cpu.cycles);
+      ("instructions", Json.Int s.Cpu.instructions);
+      ("movs", Json.Int s.Cpu.movs);
+      ("mem_traffic", Json.Int s.Cpu.mem_traffic);
+      ("calls", Json.Int s.Cpu.calls);
+      ("tcalls", Json.Int s.Cpu.tcalls);
+      ("svcs", Json.Int s.Cpu.svcs);
+      ("stack_high", Json.Int s.Cpu.stack_high);
+    ]
+
+let profile_json cpu : Json.t =
+  Json.Obj
+    [
+      ( "functions",
+        Json.Arr
+          (List.map
+             (fun (f : Cpu.func_profile) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str f.Cpu.f_name);
+                   ("cycles", Json.Int f.Cpu.f_cycles);
+                   ("instructions", Json.Int f.Cpu.f_instructions);
+                   ("movs", Json.Int f.Cpu.f_movs);
+                   ("calls", Json.Int f.Cpu.f_calls);
+                 ])
+             (Cpu.profile_by_function cpu)) );
+      ( "opcodes",
+        Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) (Cpu.opcode_histogram cpu)) );
+    ]
+
+(* The --metrics document: the Obs schema (spans + counters) extended
+   with the simulator's execution statistics and, when --profile is on,
+   the per-function cycle attribution. *)
+let metrics_json ~(cpu : Cpu.t) () : Json.t =
+  match Obs.json () with
+  | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [ ("cpu", stats_json cpu.Cpu.stats) ]
+        @ (if Cpu.profiling cpu then [ ("profile", profile_json cpu) ] else []))
+  | other -> other
+
+let run phases listing transcript tns interpret repl stats timings profile metrics unchecked
+    no_opt cse peephole evals files =
   let options =
     {
       S1_codegen.Gen.default_options with
@@ -28,6 +79,21 @@ let run phases listing transcript tns interpret repl stats unchecked no_opt cse 
     if no_opt then S1_transform.Rules.nothing else S1_transform.Rules.default_config
   in
   let c = C.create ~options ~rules ~cse () in
+  (* measure only the user's forms: boot noise (builtin stubs, prelude)
+     stays out of the counters and the profile *)
+  Obs.reset ();
+  (* pre-seed the schema's fixed counters at zero, so every rule and
+     packing statistic appears in --timings/--metrics output even when
+     this compile never exercises it *)
+  List.iter
+    (fun r -> Obs.incr ~n:0 ("rule." ^ r))
+    S1_transform.Rules.transcript_rule_names;
+  List.iter (Obs.incr ~n:0)
+    [ "rule.COMMON-SUBEXPRESSION-ELIMINATION"; "cse.eliminated"; "pdl.candidates";
+      "pdl.stack_boxes"; "pdl.heap_boxes"; "tn.total"; "tn.in_registers"; "tn.pointer_slots";
+      "tn.scratch_slots"; "tn.across_call" ];
+  Cpu.reset_stats c.C.rt.Rt.cpu;
+  if profile then Cpu.enable_profile c.C.rt.Rt.cpu;
   if phases then begin
     print_endline "Phase structure (paper Table 1):";
     List.iter (fun p -> Printf.printf "  - %s\n" p) C.phases
@@ -85,7 +151,21 @@ let run phases listing transcript tns interpret repl stats unchecked no_opt cse 
      with Exit | End_of_file -> ())
   end;
   if stats then
-    Format.printf "%a@." S1_machine.Cpu.pp_stats c.C.rt.Rt.cpu.S1_machine.Cpu.stats
+    Format.printf "%a@." S1_machine.Cpu.pp_stats c.C.rt.Rt.cpu.S1_machine.Cpu.stats;
+  if timings then begin
+    Format.printf "%t@." (fun fmt -> Obs.pp_timings fmt ());
+    print_endline "";
+    Format.printf "%t@." (fun fmt -> Obs.pp_counters fmt ())
+  end;
+  if profile then Format.printf "%a@." Cpu.pp_profile c.C.rt.Rt.cpu;
+  match metrics with
+  | None -> ()
+  | Some file ->
+      let doc = metrics_json ~cpu:c.C.rt.Rt.cpu () in
+      let oc = open_out file in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n';
+      close_out oc
 
 open Cmdliner
 
@@ -103,6 +183,25 @@ let interpret =
 
 let repl = Arg.(value & flag & info [ "repl" ] ~doc:"Interactive read-eval-print loop.")
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print simulator statistics at exit.")
+
+let timings =
+  Arg.(
+    value & flag
+    & info [ "timings" ] ~doc:"Print per-phase wall timings and compiler counters at exit.")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Profile execution: attribute simulator cycles to Lisp functions by PC.")
+
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write phase timings, counters, CPU statistics (and the profile, with \
+              $(b,--profile)) to $(docv) as JSON.")
 
 let unchecked =
   Arg.(value & flag & info [ "unchecked" ] ~doc:"Compile without run-time type checks.")
@@ -126,7 +225,7 @@ let cmd =
   Cmd.v
     (Cmd.info "s1lc" ~doc)
     Term.(
-      const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ unchecked
-      $ no_opt $ cse $ peephole $ evals $ files)
+      const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ timings
+      $ profile $ metrics $ unchecked $ no_opt $ cse $ peephole $ evals $ files)
 
 let () = exit (Cmd.eval cmd)

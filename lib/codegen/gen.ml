@@ -27,6 +27,7 @@ open Node
 module Prims = S1_frontend.Prims
 module Tn = S1_tnbind.Tnbind
 module Svc = S1_runtime.Svc
+module Obs = S1_obs.Obs
 
 exception Codegen_error of string
 
@@ -179,12 +180,14 @@ let coerce ctx ~from_ ~to_ ?(pdl = -1) src dst =
   | f, t when f = t -> if src <> dst then emit ctx (Isa.Mov (dst, src))
   | (SWFLO | HWFLO), POINTER ->
       if ctx.opt.pdl_numbers && pdl >= 0 then begin
+        Obs.incr "pdl.stack_boxes";
         emit ctx (Isa.Mov (Isa.Ind (Isa.tp, pdl), src));
         comment ctx "Install value for PDL-allocated number.";
         emit ctx (Isa.Movp (Tags.Single_flonum, dst, Isa.Ind (Isa.tp, pdl)));
         comment ctx "Pointer to PDL slot."
       end
       else begin
+        Obs.incr "pdl.heap_boxes";
         if src <> r0 then emit ctx (Isa.Mov (r0, src));
         emit ctx (Isa.Svc Svc.single_flonum_cons);
         if dst <> r0 then emit ctx (Isa.Mov (dst, r0))
@@ -1528,7 +1531,7 @@ let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter (l : 
   let fn_unwinds = annotate ctx l l.l_body in
   (* defaults can reference earlier parameters, so their code is part of
      the body for TN purposes; conservatively extend with defaults *)
-  let packing = Tn.pack ~naive:(not opt.use_tnbind) ctx.pool in
+  let packing = Obs.with_span "tnbind" (fun () -> Tn.pack ~naive:(not opt.use_tnbind) ctx.pool) in
   Buffer.add_string tn_report_buf (Printf.sprintf ";;; TN packing for %s:\n" name);
   List.iter
     (fun tn ->
@@ -1699,6 +1702,7 @@ let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter (l : 
 
 let compile_function (w : world) ?(options = default_options) ~(name : string) (lam_node : node)
     : compiled =
+  Obs.with_span "codegen" (fun () ->
   match lam_node.kind with
   | Lambda l ->
       incr counter_global;
@@ -1731,6 +1735,12 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
       let nmax = if has_rest then -1 else List.length l.l_params in
       let prog = List.concat (List.rev !chunks) in
       let prog = if options.peephole then fst (Peephole.run prog) else prog in
+      Obs.incr "gen.functions";
+      Obs.incr
+        ~n:
+          (List.length
+             (List.filter (function Asm.Instr _ -> true | _ -> false) prog))
+        "gen.instructions";
       {
         c_name = name;
         c_prog = prog;
@@ -1740,4 +1750,4 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
         c_fixups = !fixups;
         c_tn_report = Buffer.contents tn_report_buf;
       }
-  | _ -> err "compile_function: not a lambda"
+  | _ -> err "compile_function: not a lambda")

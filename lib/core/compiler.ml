@@ -29,6 +29,7 @@ module Simplify = S1_transform.Simplify
 module Rules = S1_transform.Rules
 module Transcript = S1_transform.Transcript
 module Gen = S1_codegen.Gen
+module Obs = S1_obs.Obs
 
 (** The paper's Table 1, as data (experiment T1). *)
 let phases =
@@ -113,19 +114,21 @@ let specials_pred (c : t) name =
 (* Run the full machine-independent and machine-dependent pipeline on a
    converted lambda node. *)
 let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
-  let ts = Transcript.create ~enabled:c.keep_transcript () in
-  ignore (Simplify.run ~config:c.rules ~transcript:ts lam_node);
-  (* CSE is a separate phase after the source-level optimizer, exactly to
-     avoid the introduction/elimination thrashing the paper describes. *)
-  if c.cse then ignore (S1_transform.Cse.run ~transcript:ts lam_node);
-  (* Simplify/CSE leave the tree analyzed (including binding annotation). *)
-  S1_rep.Repan.run lam_node;
-  S1_rep.Pdlnum.run lam_node;
-  ts
+  Obs.with_span "phases" (fun () ->
+      let ts = Transcript.create ~enabled:c.keep_transcript () in
+      ignore (Simplify.run ~config:c.rules ~transcript:ts lam_node);
+      (* CSE is a separate phase after the source-level optimizer, exactly to
+         avoid the introduction/elimination thrashing the paper describes. *)
+      if c.cse then ignore (S1_transform.Cse.run ~transcript:ts lam_node);
+      (* Simplify/CSE leave the tree analyzed (including binding annotation). *)
+      S1_rep.Repan.run lam_node;
+      S1_rep.Pdlnum.run lam_node;
+      ts)
 
 (* Compile a lambda node and install it into the world.  Returns the
    function word. *)
 let load_lambda (c : t) ~name (lam_node : Node.node) : int =
+  Obs.with_span "compile" (fun () ->
   let ts = run_phases c lam_node in
   if c.keep_transcript then c.last_transcript <- Some ts;
   let compiled = Gen.compile_function (world_of c) ~options:c.options ~name lam_node in
@@ -133,7 +136,11 @@ let load_lambda (c : t) ~name (lam_node : Node.node) : int =
     c.last_listing <- Some (Asm.listing compiled.Gen.c_prog);
     c.last_tn_report <- Some compiled.Gen.c_tn_report
   end;
-  let image = Cpu.load c.rt.Rt.cpu compiled.Gen.c_prog in
+  let code_lo = c.rt.Rt.cpu.Cpu.code_len in
+  let image = Obs.with_span "load" (fun () -> Cpu.load c.rt.Rt.cpu compiled.Gen.c_prog) in
+  (* symbolize the loaded range (closures compiled into the same program
+     fold under the outer function's name) for the cycle profiler *)
+  Cpu.add_symbol c.rt.Rt.cpu ~lo:code_lo ~hi:c.rt.Rt.cpu.Cpu.code_len ~name;
   let entry = Cpu.label_addr image compiled.Gen.c_entry in
   let name_sym = Rt.intern c.rt name in
   let fobj =
@@ -151,13 +158,14 @@ let load_lambda (c : t) ~name (lam_node : Node.node) : int =
       in
       Mem.write c.rt.Rt.mem cell cobj)
     compiled.Gen.c_fixups;
-  fobj
+  fobj)
 
 (* Top-level form processing -------------------------------------------------- *)
 
 let compile_defun (c : t) (form : Sexp.t) : string =
   let name, lam_node =
-    Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) form
+    Obs.with_span "convert" (fun () ->
+        Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) form)
   in
   let fobj = load_lambda c ~name lam_node in
   Rt.set_function c.rt (Rt.intern c.rt name) fobj;
@@ -165,7 +173,10 @@ let compile_defun (c : t) (form : Sexp.t) : string =
 
 let compile_expression (c : t) (form : Sexp.t) : int =
   (* wrap in a nullary function, compile, call *)
-  let expr = Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c) form in
+  let expr =
+    Obs.with_span "convert" (fun () ->
+        Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c) form)
+  in
   let lam_node = Node.lambda ~name:"%TOPLEVEL" [] expr in
   (match lam_node.Node.kind with
   | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
@@ -219,7 +230,9 @@ let listing_of (c : t) (form : Sexp.t) : string * Transcript.t =
       (match form with
       | Sexp.List (Sexp.Sym "DEFUN" :: _) -> ignore (compile_defun c form)
       | _ ->
-          let expr = Convert.expression ~specials:(specials_pred c) form in
+          let expr =
+            Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c) form
+          in
           let lam_node = Node.lambda ~name:"%LISTING" [] expr in
           (match lam_node.Node.kind with
           | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel

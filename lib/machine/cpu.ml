@@ -9,6 +9,16 @@ type stats = {
   mutable stack_high : int;
 }
 
+(* Per-PC execution attribution, maintained only while profiling is
+   enabled (the arrays grow with the code store). *)
+type profile = {
+  mutable p_cycles : int array;
+  mutable p_instrs : int array;
+  mutable p_movs : int array;
+  p_opcodes : (string, int) Hashtbl.t;  (* mnemonic -> executions *)
+  p_entry_calls : (int, int) Hashtbl.t;  (* entry pc -> CALL/TCALL count *)
+}
+
 type t = {
   mem : Mem.t;
   mutable code : Isa.instr array;
@@ -20,6 +30,9 @@ type t = {
   mutable service : t -> int -> unit;
   mutable bad_function_svc : int;
   mutable trace : bool;
+  mutable profile : profile option;
+  mutable symbols : (int * int * string) list;
+      (** (lo, hi, name): loaded code ranges, hi exclusive; newest first *)
 }
 
 exception Exec_error of { pc : int; message : string }
@@ -47,6 +60,8 @@ let create ?mem () =
       service = (fun _ _ -> ());
       bad_function_svc = -1;
       trace = false;
+      profile = None;
+      symbols = [];
     }
   in
   (* Code address 0 is the universal halt used as the host's return
@@ -90,6 +105,115 @@ let reset_stats cpu =
   s.tcalls <- 0;
   s.svcs <- 0;
   s.stack_high <- 0
+
+(* Profiling ------------------------------------------------------------- *)
+
+let fresh_profile n =
+  {
+    p_cycles = Array.make (max n 1) 0;
+    p_instrs = Array.make (max n 1) 0;
+    p_movs = Array.make (max n 1) 0;
+    p_opcodes = Hashtbl.create 32;
+    p_entry_calls = Hashtbl.create 32;
+  }
+
+let enable_profile cpu =
+  if cpu.profile = None then cpu.profile <- Some (fresh_profile (Array.length cpu.code))
+
+let profiling cpu = cpu.profile <> None
+let reset_profile cpu = if cpu.profile <> None then cpu.profile <- Some (fresh_profile (Array.length cpu.code))
+
+let ensure_profile_capacity p pc =
+  if pc >= Array.length p.p_cycles then begin
+    let cap = max (2 * Array.length p.p_cycles) (pc + 1) in
+    let grow a =
+      let fresh = Array.make cap 0 in
+      Array.blit a 0 fresh 0 (Array.length a);
+      fresh
+    in
+    p.p_cycles <- grow p.p_cycles;
+    p.p_instrs <- grow p.p_instrs;
+    p.p_movs <- grow p.p_movs
+  end
+
+let add_symbol cpu ~lo ~hi ~name = cpu.symbols <- (lo, hi, name) :: cpu.symbols
+
+let symbol_at cpu pc =
+  let rec find = function
+    | [] -> None
+    | (lo, hi, name) :: rest -> if pc >= lo && pc < hi then Some name else find rest
+  in
+  find cpu.symbols
+
+type func_profile = {
+  f_name : string;
+  f_cycles : int;
+  f_instructions : int;
+  f_movs : int;
+  f_calls : int;
+}
+
+(* Aggregate the per-PC tables by containing symbol; PCs outside any
+   loaded symbol range (the halt stub, hand-assembled test code) pool
+   under "?". *)
+let profile_by_function cpu : func_profile list =
+  match cpu.profile with
+  | None -> []
+  | Some p ->
+      let by_name : (string, func_profile) Hashtbl.t = Hashtbl.create 32 in
+      let touch name f =
+        let cur =
+          match Hashtbl.find_opt by_name name with
+          | Some fp -> fp
+          | None -> { f_name = name; f_cycles = 0; f_instructions = 0; f_movs = 0; f_calls = 0 }
+        in
+        Hashtbl.replace by_name name (f cur)
+      in
+      let n = min cpu.code_len (Array.length p.p_cycles) in
+      for pc = 0 to n - 1 do
+        if p.p_instrs.(pc) > 0 then
+          let name = match symbol_at cpu pc with Some s -> s | None -> "?" in
+          touch name (fun fp ->
+              {
+                fp with
+                f_cycles = fp.f_cycles + p.p_cycles.(pc);
+                f_instructions = fp.f_instructions + p.p_instrs.(pc);
+                f_movs = fp.f_movs + p.p_movs.(pc);
+              })
+      done;
+      Hashtbl.iter
+        (fun entry count ->
+          let name = match symbol_at cpu entry with Some s -> s | None -> "?" in
+          touch name (fun fp -> { fp with f_calls = fp.f_calls + count }))
+        p.p_entry_calls;
+      Hashtbl.fold (fun _ fp acc -> fp :: acc) by_name []
+      |> List.sort (fun a b -> compare b.f_cycles a.f_cycles)
+
+let opcode_histogram cpu =
+  match cpu.profile with
+  | None -> []
+  | Some p ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.p_opcodes []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_profile fmt cpu =
+  let fns = profile_by_function cpu in
+  let total = List.fold_left (fun acc f -> acc + f.f_cycles) 0 fns in
+  Format.fprintf fmt "@[<v>%-28s %12s %6s %10s %8s %8s@," "function" "cycles" "%" "instrs"
+    "movs" "calls";
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "%-28s %12d %5.1f%% %10d %8d %8d@," f.f_name f.f_cycles
+        (if total = 0 then 0.0 else 100.0 *. float_of_int f.f_cycles /. float_of_int total)
+        f.f_instructions f.f_movs f.f_calls)
+    fns;
+  Format.fprintf fmt "@,%-28s %12d@," "total" total;
+  (match opcode_histogram cpu with
+  | [] -> ()
+  | ops ->
+      Format.fprintf fmt "@,%-28s %12s@," "opcode" "executed";
+      List.iter (fun (op, n) -> Format.fprintf fmt "%-28s %12d@," op n) ops);
+  Format.fprintf fmt "@]"
 
 let reset_stack cpu =
   cpu.regs.(Isa.sp) <- Mem.stack_base cpu.mem;
@@ -197,6 +321,11 @@ let do_call cpu fobj nargs ~ret =
       else fail cpu "call to non-function word %#x" fobj
   | Some (entry, envw) ->
       cpu.stats.calls <- cpu.stats.calls + 1;
+      (match cpu.profile with
+      | Some p ->
+          Hashtbl.replace p.p_entry_calls entry
+            (1 + Option.value ~default:0 (Hashtbl.find_opt p.p_entry_calls entry))
+      | None -> ());
       cpu.regs.(Isa.rta) <- nargs;
       push cpu ret;
       push cpu cpu.regs.(Isa.fp);
@@ -217,6 +346,11 @@ let do_tcall cpu fobj nargs =
       else fail cpu "tail call to non-function word %#x" fobj
   | Some (entry, envw) ->
       cpu.stats.tcalls <- cpu.stats.tcalls + 1;
+      (match cpu.profile with
+      | Some p ->
+          Hashtbl.replace p.p_entry_calls entry
+            (1 + Option.value ~default:0 (Hashtbl.find_opt p.p_entry_calls entry))
+      | None -> ());
       let fp = cpu.regs.(Isa.fp) in
       let old_argc = Word.addr_of (Mem.read cpu.mem fp) in
       let ret = Mem.read cpu.mem (fp - 4) in
@@ -328,6 +462,10 @@ let step cpu =
   if cpu.trace then
     Format.eprintf "@[<h>%6d  %a@]@." cpu.pc Isa.pp_instr i;
   let s = cpu.stats in
+  (* profile attribution: every cycle this dispatch adds (base plus
+     vector per-element costs) charges to the fetched PC *)
+  let prof_pc = cpu.pc in
+  let prof_cycles0 = s.cycles in
   s.instructions <- s.instructions + 1;
   s.cycles <- s.cycles + Isa.base_cycles i;
   let next = cpu.pc + 1 in
@@ -477,7 +615,16 @@ let step cpu =
       cpu.pc <- next
   | Halt -> cpu.halted <- true
   | Nop -> cpu.pc <- next);
-  ()
+  match cpu.profile with
+  | None -> ()
+  | Some p ->
+      ensure_profile_capacity p prof_pc;
+      p.p_cycles.(prof_pc) <- p.p_cycles.(prof_pc) + (s.cycles - prof_cycles0);
+      p.p_instrs.(prof_pc) <- p.p_instrs.(prof_pc) + 1;
+      if Isa.is_mov i then p.p_movs.(prof_pc) <- p.p_movs.(prof_pc) + 1;
+      let m = Isa.mnemonic i in
+      Hashtbl.replace p.p_opcodes m
+        (1 + Option.value ~default:0 (Hashtbl.find_opt p.p_opcodes m))
 
 let run ?(fuel = 500_000_000) cpu ~at =
   cpu.pc <- at;

@@ -30,6 +30,14 @@ type stats = {
   mutable stack_high : int;  (** high-water mark of SP, words above stack base *)
 }
 
+type profile = {
+  mutable p_cycles : int array;  (** cycles attributed per code address *)
+  mutable p_instrs : int array;
+  mutable p_movs : int array;
+  p_opcodes : (string, int) Hashtbl.t;  (** mnemonic -> executions *)
+  p_entry_calls : (int, int) Hashtbl.t;  (** entry pc -> CALL/TCALL count *)
+}
+
 type t = {
   mem : Mem.t;
   mutable code : Isa.instr array;
@@ -41,6 +49,9 @@ type t = {
   mutable service : t -> int -> unit;  (** runtime service trap handler *)
   mutable bad_function_svc : int;  (** service invoked by CALL on a non-function *)
   mutable trace : bool;
+  mutable profile : profile option;  (** per-PC attribution; None = off (zero cost) *)
+  mutable symbols : (int * int * string) list;
+      (** (lo, hi, name): loaded code ranges, hi exclusive; newest first *)
 }
 
 exception Exec_error of { pc : int; message : string }
@@ -76,3 +87,36 @@ val call_function : ?fuel:int -> t -> fobj:int -> args:int list -> int
     the REPL, examples, tests and benches. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Profiling}
+
+    With profiling enabled, {!step} attributes every cycle and
+    instruction to the fetched PC, and [CALL]/[TCALL] count arrivals per
+    entry address.  {!add_symbol} names loaded code ranges (the compiler
+    driver and the runtime's native stubs register every function they
+    load) so {!profile_by_function} can fold the PC-level tables into a
+    hottest-functions table. *)
+
+val enable_profile : t -> unit
+val profiling : t -> bool
+val reset_profile : t -> unit
+(** Zero the attribution tables (keeps profiling enabled). *)
+
+val add_symbol : t -> lo:int -> hi:int -> name:string -> unit
+val symbol_at : t -> int -> string option
+
+type func_profile = {
+  f_name : string;
+  f_cycles : int;
+  f_instructions : int;
+  f_movs : int;
+  f_calls : int;
+}
+
+val profile_by_function : t -> func_profile list
+(** Sorted by cycles, descending; unsymbolized code pools under ["?"]. *)
+
+val opcode_histogram : t -> (string * int) list
+(** Executions per opcode family, descending. *)
+
+val pp_profile : Format.formatter -> t -> unit

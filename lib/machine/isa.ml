@@ -307,6 +307,35 @@ let svc_name id =
   | Some n -> n
   | None -> Printf.sprintf "*:SQ-SERVICE-%d" id
 
+(* Opcode-family name, for the profiler's opcode histogram: one bucket
+   per mnemonic, folding operand and condition variants together. *)
+let mnemonic = function
+  | Mov _ -> "MOV"
+  | Movp _ -> "MOVP"
+  | Gettag _ -> "GETTAG"
+  | Getaddr _ -> "GETADDR"
+  | Settag _ -> "SETTAG"
+  | Bin (op, w, _, _, _) -> Printf.sprintf "%s.%s" (binop_name op) (width_name w)
+  | Un (op, w, _, _) -> Printf.sprintf "%s.%s" (unop_name op) (width_name w)
+  | Jmp _ -> "JMP"
+  | Fjmp _ -> "FJMP"
+  | Jmpz _ -> "JMPZ"
+  | Jmptag _ -> "JMPTAG"
+  | Jmpa _ -> "JMPA"
+  | Jmpi _ -> "JMPI"
+  | Jsp _ -> "JSP"
+  | Push _ -> "PUSH"
+  | Pop _ -> "POP"
+  | Allocs _ -> "ALLOC"
+  | Call _ -> "%CALL"
+  | Tcall _ -> "%TCALL"
+  | Ret -> "%RET"
+  | Svc _ -> "SVC"
+  | Vdot _ -> "VDOT"
+  | Vadd _ -> "VADD"
+  | Halt -> "HALT"
+  | Nop -> "NOP"
+
 let pp_instr fmt i =
   let p = Format.fprintf in
   match i with

@@ -159,6 +159,10 @@ val is_mov : instr -> bool
 (** Data-movement instructions (MOV only) — the §6.1 "no MOV needed"
     metric. *)
 
+val mnemonic : instr -> string
+(** Opcode-family name ("MOV", "FADD.S", "%CALL", ...) — the profiler's
+    opcode-histogram bucket. *)
+
 (** {1 Printing} *)
 
 val pp_operand : Format.formatter -> operand -> unit

@@ -1,0 +1,214 @@
+(** Observability: named counters, hierarchical wall-time spans, and a
+    JSON export of both — the measurement layer under [s1lc --timings],
+    [--metrics], and the bench trajectory ([BENCH_RESULTS.json]).
+
+    The registry is a process-global singleton: the compiler phases are
+    single-threaded and compilation units are measured one at a time, so
+    a global keeps the instrumentation call sites down to one line
+    ([Obs.incr], [Obs.with_span]).  [reset] returns it to empty; callers
+    that want per-unit numbers reset around the unit of interest.
+
+    Spans nest: [with_span "compile" (fun () -> with_span "tnbind" f)]
+    records both ["compile"] and ["compile/tnbind"], keyed by path, each
+    with an invocation count and accumulated wall nanoseconds.  Counters
+    are flat names, conventionally dotted ("rule.META-SUBSTITUTE",
+    "tn.registers"). *)
+
+(** A minimal JSON tree and printer — enough for a stable metrics schema
+    without an external dependency. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b ~indent ~level (t : t) =
+    let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+    let sep () = if indent then Buffer.add_char b '\n' in
+    match t with
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.1f" f)
+        else Buffer.add_string b (Printf.sprintf "%.17g" f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Arr [] -> Buffer.add_string b "[]"
+    | Arr xs ->
+        Buffer.add_char b '[';
+        sep ();
+        List.iteri
+          (fun i x ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              sep ()
+            end;
+            pad (level + 1);
+            write b ~indent ~level:(level + 1) x)
+          xs;
+        sep ();
+        pad level;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        sep ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              sep ()
+            end;
+            pad (level + 1);
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b (if indent then "\": " else "\":");
+            write b ~indent ~level:(level + 1) v)
+          kvs;
+        sep ();
+        pad level;
+        Buffer.add_char b '}'
+
+  let to_string ?(pretty = true) t =
+    let b = Buffer.create 256 in
+    write b ~indent:pretty ~level:0 t;
+    Buffer.contents b
+end
+
+type span = {
+  sp_path : string;  (** "compile/tnbind" *)
+  sp_depth : int;
+  mutable sp_count : int;
+  mutable sp_ns : int;  (** accumulated wall nanoseconds *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  spans : (string, span) Hashtbl.t;
+  mutable span_order : string list;  (* reversed first-open order *)
+  mutable stack : string list;  (* current path components, innermost first *)
+}
+
+let create () =
+  { counters = Hashtbl.create 64; spans = Hashtbl.create 32; span_order = []; stack = [] }
+
+(* The process-global registry all instrumentation points use. *)
+let default : t = create ()
+
+let reset ?(t = default) () =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.spans;
+  t.span_order <- [];
+  t.stack <- []
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let incr ?(t = default) ?(n = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.counters name (ref n)
+
+let count ?(t = default) name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters ?(t = default) () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let current_path t = String.concat "/" (List.rev t.stack)
+
+let with_span ?(t = default) name f =
+  t.stack <- name :: t.stack;
+  let path = current_path t in
+  let sp =
+    match Hashtbl.find_opt t.spans path with
+    | Some sp -> sp
+    | None ->
+        let sp = { sp_path = path; sp_depth = List.length t.stack - 1; sp_count = 0; sp_ns = 0 } in
+        Hashtbl.replace t.spans path sp;
+        t.span_order <- path :: t.span_order;
+        sp
+  in
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      sp.sp_count <- sp.sp_count + 1;
+      sp.sp_ns <- sp.sp_ns + (now_ns () - t0);
+      t.stack <- List.tl t.stack)
+    f
+
+let spans ?(t = default) () =
+  List.rev_map (fun path -> Hashtbl.find t.spans path) t.span_order
+
+let span_ns ?(t = default) path =
+  match Hashtbl.find_opt t.spans path with Some sp -> sp.sp_ns | None -> 0
+
+(* Rendering ------------------------------------------------------------------ *)
+
+let pp_timings fmt ?(t = default) () =
+  let sps = spans ~t () in
+  if sps = [] then Format.fprintf fmt "(no phase timings recorded)@."
+  else begin
+    Format.fprintf fmt "@[<v>%-46s %8s %14s@," "phase" "count" "wall ns";
+    List.iter
+      (fun sp ->
+        let leaf =
+          match String.rindex_opt sp.sp_path '/' with
+          | Some i -> String.sub sp.sp_path (i + 1) (String.length sp.sp_path - i - 1)
+          | None -> sp.sp_path
+        in
+        Format.fprintf fmt "%-46s %8d %14d@,"
+          (String.make (2 * sp.sp_depth) ' ' ^ leaf)
+          sp.sp_count sp.sp_ns)
+      sps;
+    Format.fprintf fmt "@]"
+  end
+
+let pp_counters fmt ?(t = default) () =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-46s %10d@." k v) (counters ~t ())
+
+(* The stable metrics schema: {"schema": "...", "spans": [...],
+   "counters": {...}} — extended (never rearranged) by callers that add
+   sibling keys such as "cpu" and "profile". *)
+let schema_version = "s1lisp.metrics/1"
+
+let json ?(t = default) () : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ( "spans",
+        Json.Arr
+          (List.map
+             (fun sp ->
+               Json.Obj
+                 [
+                   ("path", Json.Str sp.sp_path);
+                   ("count", Json.Int sp.sp_count);
+                   ("wall_ns", Json.Int sp.sp_ns);
+                 ])
+             (spans ~t ())) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ~t ())));
+    ]

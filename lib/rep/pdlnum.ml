@@ -136,5 +136,12 @@ let rec nump (n : node) : bool =
   v
 
 let run (root : node) : unit =
-  okp root (-1);
-  ignore (nump root)
+  S1_obs.Obs.with_span "pdlnum" (fun () ->
+      okp root (-1);
+      ignore (nump root);
+      (* nodes where both analyses agree a stack box would be legal: the
+         code generator turns the POINTER-wanted numeric ones into pdl
+         slots (counted there as pdl.stack_boxes) *)
+      iter
+        (fun n -> if n.n_pdlokp >= 0 && n.n_pdlnump then S1_obs.Obs.incr "pdl.candidates")
+        root)

@@ -272,11 +272,23 @@ let unify_variable_reps (root : node) : bool =
 (* Entry point -------------------------------------------------------------------- *)
 
 let run (root : node) : unit =
-  (* reset *)
-  iter (fun n -> n.n_wantrep <- POINTER) root;
-  let rec fix k =
-    want root POINTER;
-    ignore (isrep root);
-    if k > 0 && unify_variable_reps root then fix (k - 1)
-  in
-  fix 4
+  S1_obs.Obs.with_span "repan" (fun () ->
+      (* reset *)
+      iter (fun n -> n.n_wantrep <- POINTER) root;
+      let rec fix k =
+        want root POINTER;
+        ignore (isrep root);
+        if k > 0 && unify_variable_reps root then fix (k - 1)
+      in
+      fix 4;
+      (* representation choices, per kind: one counter per variable rep
+         and one per delivered (ISREP) value rep *)
+      iter
+        (fun n ->
+          match n.kind with
+          | Lambda l ->
+              List.iter
+                (fun p -> S1_obs.Obs.incr ("rep.var." ^ rep_name p.p_var.v_rep))
+                l.l_params
+          | _ -> if n.n_isrep <> NONE then S1_obs.Obs.incr ("rep.isrep." ^ rep_name n.n_isrep))
+        root)

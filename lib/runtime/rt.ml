@@ -201,6 +201,7 @@ let register_native rt ~name ~min_args ~max_args impl =
         let result = with_protected rt args (fun () -> impl rt args) in
         Cpu.set_reg rt.cpu Isa.a result);
   let image = Cpu.load rt.cpu S1_machine.Asm.[ Instr (Isa.Svc id); Instr Isa.Ret ] in
+  Cpu.add_symbol rt.cpu ~lo:image.S1_machine.Asm.org ~hi:(image.S1_machine.Asm.org + 2) ~name;
   let sym = intern rt name in
   let fobj =
     Obj.code ~where:`Static rt.obj ~entry:image.S1_machine.Asm.org ~name:sym ~min_args ~max_args

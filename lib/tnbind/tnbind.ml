@@ -153,6 +153,13 @@ let pack ?(naive = false) ?(registers = [ 14; 15; 16; 17; 18; 19; 8; 9; 10; 11 ]
             (if tn.tn_pointer then Sframe (alloc_pointer_slot pool)
              else Sscratch (alloc_scratch_slot pool tn.tn_width)))
     order;
+  let module Obs = S1_obs.Obs in
+  Obs.incr ~n:(List.length pool.tns) "tn.total";
+  Obs.incr ~n:!in_regs "tn.in_registers";
+  Obs.incr ~n:pool.n_pointer_slots "tn.pointer_slots";
+  Obs.incr ~n:pool.n_scratch_slots "tn.scratch_slots";
+  Obs.incr ~n:(List.length (List.filter (fun tn -> tn.tn_across_call) pool.tns))
+    "tn.across_call";
   {
     r_pointer_slots = pool.n_pointer_slots;
     r_scratch_slots = pool.n_scratch_slots;

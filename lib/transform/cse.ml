@@ -119,16 +119,19 @@ let eliminate_one (ts : Transcript.t) (root : node) : bool =
       v.v_binder <- Some lam;
       home.kind <- Call (lam, [ init ]);
       home.n_dirty <- true;
+      S1_obs.Obs.incr "rule.COMMON-SUBEXPRESSION-ELIMINATION";
       Transcript.record ts ~before ~after:(Backtrans.to_string home)
         ~rule:"COMMON-SUBEXPRESSION-ELIMINATION";
       true
 
 let run ?(transcript = Transcript.create ~enabled:false ()) (root : node) : int =
-  let eliminated = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !eliminated < 50 do
-    S1_analysis.Analyze.refresh root;
-    if eliminate_one transcript root then incr eliminated else continue_ := false
-  done;
-  S1_analysis.Analyze.refresh root;
-  !eliminated
+  S1_obs.Obs.with_span "cse" (fun () ->
+      let eliminated = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !eliminated < 50 do
+        S1_analysis.Analyze.refresh root;
+        if eliminate_one transcript root then incr eliminated else continue_ := false
+      done;
+      S1_analysis.Analyze.refresh root;
+      S1_obs.Obs.incr ~n:!eliminated "cse.eliminated";
+      !eliminated)

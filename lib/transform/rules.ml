@@ -55,6 +55,7 @@ let fire ctx rule (n : node) (new_kind : kind) =
   let before = Backtrans.to_string n in
   n.kind <- new_kind;
   n.n_dirty <- true;
+  S1_obs.Obs.incr ("rule." ^ rule);
   Transcript.record ctx.ts ~before ~after:(Backtrans.to_string n) ~rule;
   true
 
@@ -229,6 +230,7 @@ let rule_beta ctx (n : node) =
           (if params = [] && args' = [] then n.kind <- l.l_body.kind
            else n.kind <- Call (f, args'));
           n.n_dirty <- true;
+          S1_obs.Obs.incr "rule.META-SUBSTITUTE";
           Transcript.record ctx.ts ~before ~after:(Backtrans.to_string n)
             ~rule:"META-SUBSTITUTE";
           true
@@ -531,6 +533,26 @@ let rule_type_specialize ctx (n : node) =
     | _ -> false
 
 (* ---------------------------------------------------------------- *)
+
+(* The transcript names rules fire under (the paper's §7 spelling).  The
+   metrics export pre-seeds a "rule.<NAME>" counter for each, so the JSON
+   schema lists every rule even in compiles where none fire. *)
+let transcript_rule_names =
+  [
+    "META-CALL-LAMBDA";
+    "META-SUBSTITUTE";
+    "META-EVALUATE";
+    "META-EVALUATE-ASSOC-COMMUT-CALL";
+    "META-IDENTITY-OPERAND";
+    "META-PROGN-SIMPLIFY";
+    "META-DISTRIBUTE-IF";
+    "META-HOIST-PREDICATE";
+    "META-SIN-TO-SINC";
+    "META-TYPE-SPECIALIZE";
+    "CONSIDER-REVERSING-ARGUMENTS";
+    "SIMPLIFY-CONDITIONAL";
+    "DEAD-CODE-ELIMINATION";
+  ]
 
 let all_rules : (string * (ctx -> node -> bool)) list =
   [

@@ -30,14 +30,16 @@ let sweep (ctx : Rules.ctx) (root : node) : bool =
 
 let run ?(config = Rules.default_config) ?(transcript = Transcript.create ~enabled:false ())
     (root : node) : Transcript.t =
-  let ctx = { Rules.cfg = config; ts = transcript } in
-  let continue_ = ref true in
-  let sweeps = ref 0 in
-  while !continue_ && !sweeps < max_sweeps do
-    incr sweeps;
-    S1_analysis.Analyze.refresh root;
-    continue_ := sweep ctx root
-  done;
-  (* leave the tree fully analyzed for the machine-dependent phases *)
-  S1_analysis.Analyze.refresh root;
-  transcript
+  S1_obs.Obs.with_span "simplify" (fun () ->
+      let ctx = { Rules.cfg = config; ts = transcript } in
+      let continue_ = ref true in
+      let sweeps = ref 0 in
+      while !continue_ && !sweeps < max_sweeps do
+        incr sweeps;
+        S1_obs.Obs.incr "simplify.sweeps";
+        S1_analysis.Analyze.refresh root;
+        continue_ := sweep ctx root
+      done;
+      (* leave the tree fully analyzed for the machine-dependent phases *)
+      S1_analysis.Analyze.refresh root;
+      transcript)
