@@ -11,7 +11,12 @@
      s1lc --repl                           interactive read-eval-print loop
      s1lc --stats ...                      print simulator statistics at exit
      s1lc --timings ...                    per-phase wall timings + counters
-     s1lc --profile ...                    PC-level cycle profile by function
+     s1lc --profile ...                    PC-level cycle profile by function,
+                                           source line and IR node
+     s1lc --trace out.jsonl ...            write the structured rewrite journal
+     s1lc --annotate ...                   annotated listing: source lines
+                                           interleaved with instructions and
+                                           measured cycles
      s1lc --metrics out.json ...           write all of the above as JSON *)
 
 module C = S1_core.Compiler
@@ -50,6 +55,19 @@ let profile_json cpu : Json.t =
                    ("calls", Json.Int f.Cpu.f_calls);
                  ])
              (Cpu.profile_by_function cpu)) );
+      ( "lines",
+        Json.Arr
+          (List.map
+             (fun (l : Cpu.line_profile) ->
+               Json.Obj
+                 [
+                   ("file", Json.Str l.Cpu.ln_file);
+                   ("line", Json.Int l.Cpu.ln_line);
+                   ("cycles", Json.Int l.Cpu.ln_cycles);
+                   ("instructions", Json.Int l.Cpu.ln_instructions);
+                   ("movs", Json.Int l.Cpu.ln_movs);
+                 ])
+             (Cpu.profile_by_line cpu)) );
       ( "opcodes",
         Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) (Cpu.opcode_histogram cpu)) );
     ]
@@ -66,8 +84,8 @@ let metrics_json ~(cpu : Cpu.t) () : Json.t =
         @ (if Cpu.profiling cpu then [ ("profile", profile_json cpu) ] else []))
   | other -> other
 
-let run phases listing transcript tns interpret repl stats timings profile metrics unchecked
-    no_opt cse peephole evals files =
+let run phases listing transcript tns interpret repl stats timings profile metrics trace
+    annotate unchecked no_opt cse peephole evals files =
   let options =
     {
       S1_codegen.Gen.default_options with
@@ -93,7 +111,12 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       "pdl.stack_boxes"; "pdl.heap_boxes"; "tn.total"; "tn.in_registers"; "tn.pointer_slots";
       "tn.scratch_slots"; "tn.across_call" ];
   Cpu.reset_stats c.C.rt.Rt.cpu;
-  if profile then Cpu.enable_profile c.C.rt.Rt.cpu;
+  (* --annotate needs per-PC cycle counts and the loaded programs *)
+  if profile || annotate then Cpu.enable_profile c.C.rt.Rt.cpu;
+  if annotate then c.C.record_code <- true;
+  if trace <> None then S1_transform.Transcript.set_enabled c.C.journal true;
+  (* source text per input (pseudo-)file, for annotated listings *)
+  let sources : (string, string array) Hashtbl.t = Hashtbl.create 4 in
   if phases then begin
     print_endline "Phase structure (paper Table 1):";
     List.iter (fun p -> Printf.printf "  - %s\n" p) C.phases
@@ -116,15 +139,28 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       in
       Printf.printf "%s\n" (C.print_value c w)
   in
-  let process_string src = List.iter process_form (Reader.parse_string src) in
-  List.iter process_string evals;
+  let process_string ~file src =
+    Hashtbl.replace sources file (Array.of_list (String.split_on_char '\n' src));
+    match Reader.parse_string_located ~file src with
+    | forms, tab ->
+        let saved = c.C.locs in
+        c.C.locs <- Some tab;
+        Fun.protect
+          ~finally:(fun () -> c.C.locs <- saved)
+          (fun () -> List.iter process_form forms)
+    | exception Reader.Parse_error e ->
+        Printf.eprintf "s1lc: %s:%d:%d: %s\n" file e.Reader.line e.Reader.col
+          e.Reader.message;
+        exit 1
+  in
+  List.iteri (fun i src -> process_string ~file:(Printf.sprintf "<eval:%d>" (i + 1)) src) evals;
   List.iter
     (fun file ->
       let ic = open_in file in
       let n = in_channel_length ic in
       let src = really_input_string ic n in
       close_in ic;
-      process_string src)
+      process_string ~file src)
     files;
   let out = Rt.output c.C.rt in
   if out <> "" then print_string out;
@@ -137,10 +173,11 @@ let run phases listing transcript tns interpret repl stats timings profile metri
          let line = input_line stdin in
          if line = ":q" then raise Exit
          else if String.trim line <> "" then begin
-           (try process_string line with
+           (try List.iter process_form (Reader.parse_string line) with
            | Rt.Lisp_error m -> Printf.printf ";; error: %s\n" m
            | Reader.Parse_error e ->
-               Format.printf ";; %a@." Reader.pp_error e
+               Format.printf ";; <repl>:%d:%d: %s@." e.Reader.line e.Reader.col
+                 e.Reader.message
            | S1_frontend.Macroexp.Expansion_error m | S1_frontend.Convert.Convert_error m ->
                Printf.printf ";; error: %s\n" m);
            let out = Rt.output c.C.rt in
@@ -157,7 +194,21 @@ let run phases listing transcript tns interpret repl stats timings profile metri
     print_endline "";
     Format.printf "%t@." (fun fmt -> Obs.pp_counters fmt ())
   end;
+  if annotate then begin
+    let source f = Hashtbl.find_opt sources f in
+    List.iter
+      (fun (name, prog, org) ->
+        print_string (S1_machine.Annotate.render c.C.rt.Rt.cpu ~source ~name ~org prog);
+        print_newline ())
+      (List.rev c.C.code_log)
+  end;
   if profile then Format.printf "%a@." Cpu.pp_profile c.C.rt.Rt.cpu;
+  (match trace with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (S1_transform.Transcript.to_jsonl c.C.journal);
+      close_out oc);
   match metrics with
   | None -> ()
   | Some file ->
@@ -203,6 +254,22 @@ let metrics =
         ~doc:"Write phase timings, counters, CPU statistics (and the profile, with \
               $(b,--profile)) to $(docv) as JSON.")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write the structured rewrite journal (schema s1lisp.trace/1, one JSON object \
+              per line) to $(docv).")
+
+let annotate =
+  Arg.(
+    value & flag
+    & info [ "annotate" ]
+        ~doc:"Print an annotated listing after execution: source lines interleaved with \
+              the instructions compiled from them and the cycles the simulator measured \
+              at each PC (implies profiling).")
+
 let unchecked =
   Arg.(value & flag & info [ "unchecked" ] ~doc:"Compile without run-time type checks.")
 
@@ -226,6 +293,7 @@ let cmd =
     (Cmd.info "s1lc" ~doc)
     Term.(
       const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ timings
-      $ profile $ metrics $ unchecked $ no_opt $ cse $ peephole $ evals $ files)
+      $ profile $ metrics $ trace $ annotate $ unchecked $ no_opt $ cse $ peephole $ evals
+      $ files)
 
 let () = exit (Cmd.eval cmd)

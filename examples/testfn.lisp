@@ -1,0 +1,17 @@
+; The paper's running example (Table 4): an &optional function whose
+; defaults reference earlier parameters, exercising the argument-count
+; dispatch table, pdl-allocated float temporaries, and open-coded
+; floating-point primitives.
+(defun frotz (x y z)
+  (list x y z))
+
+(defun testfn (a &optional (b 3.0) (c a))
+  (let ((d (+$f a b c)) (e (*$f a b c)))
+    (let ((q (sin$f e)))
+      (frotz d e (max$f d e))
+      q)))
+
+; drive it at every arity so the profiler has cycles to attribute
+(testfn 1.0 2.0 4.0)
+(testfn 1.0 2.0)
+(testfn 1.0)

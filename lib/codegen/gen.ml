@@ -111,8 +111,10 @@ type fctx = {
   mutable catch_depth : int;
   mutable can_tail : bool;
   fixups : (string * int * string * int * int) list ref;
-  pending : (string * lam * (int * int) list) list ref;  (* closures to compile after *)
+  pending : (string * lam * (int * int) list * (int * S1_loc.Loc.t option)) list ref;
+      (* closures to compile after, with the Lambda node's provenance *)
   counter : int ref;  (* shared fresh-label counter *)
+  mutable last_mark : int;  (* node id of the most recent Mark; -1 = none *)
 }
 
 (* Emission helpers ----------------------------------------------------------- *)
@@ -121,6 +123,16 @@ let emit ctx i = ctx.buf := Asm.Instr i :: !(ctx.buf)
 let emit_label ctx l = ctx.buf := Asm.Label l :: !(ctx.buf)
 let comment ctx c = ctx.buf := Asm.Comment c :: !(ctx.buf)
 let emit_data ctx l ws = ctx.buf := Asm.Data (l, ws) :: !(ctx.buf)
+
+(* Provenance: stamp the instruction stream with the IR node about to be
+   generated (the PC line map of the assembled image).  Suppress
+   back-to-back duplicates — [gen] recurses, and a child that emitted
+   nothing would otherwise leave a redundant mark. *)
+let mark_node ctx (n : node) =
+  if n.n_id <> ctx.last_mark then begin
+    ctx.buf := Asm.Mark (n.n_id, n.n_loc) :: !(ctx.buf);
+    ctx.last_mark <- n.n_id
+  end
 
 let fresh_label ctx base =
   incr ctx.counter;
@@ -369,6 +381,7 @@ let rec maybe_unsafe ctx (n : node) =
 (* ----------------------------------------------------------------------- *)
 
 let rec gen ctx (n : node) (dest : dest) : unit =
+  mark_node ctx n;
   match n.kind with
   | Term c -> deliver_operand ctx n (constant_term_operand ctx n c) dest
   | Var v -> gen_var ctx n v dest
@@ -893,11 +906,11 @@ and gen_local_call ctx n ji args dest =
 
 (* Closures ------------------------------------------------------------------- *)
 
-and gen_closure ctx _n l dest =
+and gen_closure ctx n l dest =
   (match dest with
   | Ignore -> ()
   | _ ->
-      let code_cell = make_closure_code ctx l in
+      let code_cell = make_closure_code ctx n l in
       (* build the environment vector *)
       let caps = l.l_captures in
       let ncaps = List.length caps in
@@ -943,11 +956,11 @@ and gen_closure_call ctx n f l args dest =
   gen_full_call ctx n (fun () -> gen_into ctx f t1) ~fn_first:true args dest
 
 (* Queue a nested closure body for compilation; returns its static cell. *)
-and make_closure_code ctx (l : lam) : int =
+and make_closure_code ctx (n : node) (l : lam) : int =
   let entry = fresh_label ctx "CLOSE" in
   let cell = ctx.w.alloc_cell () in
   let env_layout = List.mapi (fun i v -> (v.v_id, i)) l.l_captures in
-  ctx.pending := (entry, l, env_layout) :: !(ctx.pending);
+  ctx.pending := (entry, l, env_layout, (n.n_id, n.n_loc)) :: !(ctx.pending);
   let nreq = List.length (List.filter (fun p -> p.p_kind = Required) l.l_params) in
   let has_rest = List.exists (fun p -> p.p_kind = Rest) l.l_params in
   let nmax = if has_rest then -1 else List.length l.l_params in
@@ -1450,6 +1463,7 @@ let make_fctx w opt ~prefix ~env_layout ~fixups ~pending ~counter =
     fixups;
     pending;
     counter;
+    last_mark = -1;
   }
 
 (* Copy one incoming argument (a POINTER in the frame's argument area)
@@ -1525,8 +1539,8 @@ let bind_default ctx (p : param) : int =
 
 let tn_report_buf = Buffer.create 256
 
-let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter (l : lam) :
-    Asm.item list =
+let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter
+    ~origin:(origin_id, origin_loc) (l : lam) : Asm.item list =
   let ctx = make_fctx w opt ~prefix ~env_layout ~fixups ~pending ~counter in
   let fn_unwinds = annotate ctx l l.l_body in
   (* defaults can reference earlier parameters, so their code is part of
@@ -1560,6 +1574,10 @@ let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter (l : 
   let nmax = nreq + nopt in
   (* entry *)
   emit_label ctx (prefix ^ "-ENTRY");
+  (* prologue code (arg checking, frame setup, parameter binding) is
+     attributed to the function's own Lambda node *)
+  ctx.buf := Asm.Mark (origin_id, origin_loc) :: !(ctx.buf);
+  ctx.last_mark <- origin_id;
   comment ctx (Printf.sprintf "%s: %d..%s args, %d pointer + %d scratch slots" name nreq
                  (if has_rest then "N" else string_of_int nmax) np ns);
   (* argument-count checking *)
@@ -1710,20 +1728,21 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
       let prefix = Printf.sprintf "%s~%d" name !counter_global in
       let fixups = ref [] and pending = ref [] and counter = ref 0 in
       let main =
-        compile_body w options ~prefix ~name ~env_layout:[] ~fixups ~pending ~counter l
+        compile_body w options ~prefix ~name ~env_layout:[] ~fixups ~pending ~counter
+          ~origin:(lam_node.n_id, lam_node.n_loc) l
       in
       (* compile nested closures breadth-first; more may appear *)
       let chunks = ref [ main ] in
       let rec drain () =
         match !pending with
         | [] -> ()
-        | (entry, cl, env_layout) :: rest ->
+        | (entry, cl, env_layout, origin) :: rest ->
             pending := rest;
             incr counter_global;
             let cprefix = Printf.sprintf "%s~C%d" name !counter_global in
             let body =
               compile_body w options ~prefix:cprefix ~name:cl.l_name ~env_layout ~fixups
-                ~pending ~counter cl
+                ~pending ~counter ~origin cl
             in
             (* the closure's entry label is referenced by fixups: alias it *)
             chunks := (Asm.Label entry :: body) :: !chunks;

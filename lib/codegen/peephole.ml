@@ -39,7 +39,7 @@ let instruction_at (prog : Asm.item list) : (string, Isa.instr) Hashtbl.t =
   let rec go pending = function
     | [] -> ()
     | Asm.Label l :: rest -> go (l :: pending) rest
-    | Asm.Comment _ :: rest -> go pending rest
+    | Asm.Comment _ :: rest | Asm.Mark _ :: rest -> go pending rest
     | Asm.Data _ :: rest -> go pending rest
     | Asm.Instr i :: rest ->
         List.iter (fun l -> Hashtbl.replace tbl l i) pending;
@@ -109,6 +109,7 @@ let drop_unreachable (prog : Asm.item list) : Asm.item list * int =
     | Asm.Label l :: rest -> Asm.Label l :: go false rest
     | Asm.Data (l, ws) :: rest -> Asm.Data (l, ws) :: go dead rest
     | Asm.Comment c :: rest -> if dead then go dead rest else Asm.Comment c :: go dead rest
+    | Asm.Mark (n, loc) :: rest -> if dead then go dead rest else Asm.Mark (n, loc) :: go dead rest
     | Asm.Instr i :: rest ->
         if dead then begin
           incr removed;
@@ -125,7 +126,7 @@ let drop_jump_to_next (prog : Asm.item list) : Asm.item list * int =
   let removed = ref 0 in
   let rec next_labels = function
     | Asm.Label l :: rest -> l :: next_labels rest
-    | Asm.Comment _ :: rest -> next_labels rest
+    | Asm.Comment _ :: rest | Asm.Mark _ :: rest -> next_labels rest
     | _ -> []
   in
   let rec go = function

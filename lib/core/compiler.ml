@@ -62,6 +62,16 @@ type t = {
   mutable last_tn_report : string option;
   macros : (string, int) Hashtbl.t;
       (** DEFMACRO expanders: macro name -> compiled function word *)
+  journal : Transcript.t;
+      (** persistent whole-session rewrite journal ([s1lc --trace]); each
+          compilation unit is a {!Transcript.since} slice of it.  Disabled
+          by default; [keep_transcript] enables recording per-unit. *)
+  mutable locs : S1_sexp.Reader.loctab option;
+      (** source positions for forms about to be compiled *)
+  mutable record_code : bool;
+      (** keep every loaded program for [s1lc --annotate] *)
+  mutable code_log : (string * Asm.program * int) list;
+      (** (name, program, org) per loaded unit, newest first *)
 }
 
 let create ?config ?(options = Gen.default_options) ?(rules = Rules.default_config)
@@ -78,6 +88,10 @@ let create ?config ?(options = Gen.default_options) ?(rules = Rules.default_conf
     last_listing = None;
     last_tn_report = None;
     macros = Hashtbl.create 8;
+    journal = Transcript.create ~enabled:false ();
+    locs = None;
+    record_code = false;
+    code_log = [];
   }
 
 let world_of (c : t) : Gen.world =
@@ -115,7 +129,12 @@ let specials_pred (c : t) name =
    converted lambda node. *)
 let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
   Obs.with_span "phases" (fun () ->
-      let ts = Transcript.create ~enabled:c.keep_transcript () in
+      (* record into the session journal; the per-unit transcript is the
+         slice of events this compilation appends *)
+      let ts = c.journal in
+      let was_enabled = Transcript.enabled ts in
+      Transcript.set_enabled ts (was_enabled || c.keep_transcript);
+      let m = Transcript.mark ts in
       ignore (Simplify.run ~config:c.rules ~transcript:ts lam_node);
       (* CSE is a separate phase after the source-level optimizer, exactly to
          avoid the introduction/elimination thrashing the paper describes. *)
@@ -123,12 +142,16 @@ let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
       (* Simplify/CSE leave the tree analyzed (including binding annotation). *)
       S1_rep.Repan.run lam_node;
       S1_rep.Pdlnum.run lam_node;
-      ts)
+      Transcript.set_enabled ts was_enabled;
+      Transcript.since ts m)
 
 (* Compile a lambda node and install it into the world.  Returns the
    function word. *)
 let load_lambda (c : t) ~name (lam_node : Node.node) : int =
   Obs.with_span "compile" (fun () ->
+  (* fill unlocated nodes from their nearest located ancestor so every
+     emitted instruction can resolve to a source line *)
+  Node.propagate_locs lam_node;
   let ts = run_phases c lam_node in
   if c.keep_transcript then c.last_transcript <- Some ts;
   let compiled = Gen.compile_function (world_of c) ~options:c.options ~name lam_node in
@@ -138,6 +161,7 @@ let load_lambda (c : t) ~name (lam_node : Node.node) : int =
   end;
   let code_lo = c.rt.Rt.cpu.Cpu.code_len in
   let image = Obs.with_span "load" (fun () -> Cpu.load c.rt.Rt.cpu compiled.Gen.c_prog) in
+  if c.record_code then c.code_log <- (name, compiled.Gen.c_prog, code_lo) :: c.code_log;
   (* symbolize the loaded range (closures compiled into the same program
      fold under the outer function's name) for the cycle profiler *)
   Cpu.add_symbol c.rt.Rt.cpu ~lo:code_lo ~hi:c.rt.Rt.cpu.Cpu.code_len ~name;
@@ -165,7 +189,7 @@ let load_lambda (c : t) ~name (lam_node : Node.node) : int =
 let compile_defun (c : t) (form : Sexp.t) : string =
   let name, lam_node =
     Obs.with_span "convert" (fun () ->
-        Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) form)
+        Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) ?locs:c.locs form)
   in
   let fobj = load_lambda c ~name lam_node in
   Rt.set_function c.rt (Rt.intern c.rt name) fobj;
@@ -175,9 +199,12 @@ let compile_expression (c : t) (form : Sexp.t) : int =
   (* wrap in a nullary function, compile, call *)
   let expr =
     Obs.with_span "convert" (fun () ->
-        Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c) form)
+        Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c) ?locs:c.locs
+          form)
   in
   let lam_node = Node.lambda ~name:"%TOPLEVEL" [] expr in
+  (* the synthetic wrapper carries the form's own position *)
+  lam_node.Node.n_loc <- expr.Node.n_loc;
   (match lam_node.Node.kind with
   | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
   | _ -> ());
@@ -195,7 +222,8 @@ let eval (c : t) (form : Sexp.t) : int =
           (Sexp.Sym "DEFUN" :: Sexp.Sym ("%MACRO-" ^ name) :: Sexp.List params :: body)
       in
       let mname, lam_node =
-        Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) expander_form
+        Convert.defun ~specials:(specials_pred c) ~macros:(macros_pred c) ?locs:c.locs
+          expander_form
       in
       let fobj = load_lambda c ~name:mname lam_node in
       Hashtbl.replace c.macros name fobj;
@@ -215,9 +243,13 @@ let eval (c : t) (form : Sexp.t) : int =
       c.rt.Rt.nil
   | _ -> compile_expression c form
 
-let eval_string (c : t) (src : string) : int =
-  let forms = S1_sexp.Reader.parse_string src in
-  List.fold_left (fun _ f -> eval c f) c.rt.Rt.nil forms
+let eval_string ?(file = "<eval>") (c : t) (src : string) : int =
+  let forms, tab = S1_sexp.Reader.parse_string_located ~file src in
+  let saved = c.locs in
+  c.locs <- Some tab;
+  Fun.protect
+    ~finally:(fun () -> c.locs <- saved)
+    (fun () -> List.fold_left (fun _ f -> eval c f) c.rt.Rt.nil forms)
 
 (* Introspection --------------------------------------------------------------- *)
 
@@ -231,9 +263,11 @@ let listing_of (c : t) (form : Sexp.t) : string * Transcript.t =
       | Sexp.List (Sexp.Sym "DEFUN" :: _) -> ignore (compile_defun c form)
       | _ ->
           let expr =
-            Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c) form
+            Convert.expression ~specials:(specials_pred c) ~macros:(macros_pred c)
+              ?locs:c.locs form
           in
           let lam_node = Node.lambda ~name:"%LISTING" [] expr in
+          lam_node.Node.n_loc <- expr.Node.n_loc;
           (match lam_node.Node.kind with
           | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
           | _ -> ());

@@ -14,6 +14,8 @@
     or system-defined function" case). *)
 
 module Sexp = S1_sexp.Sexp
+module Reader = S1_sexp.Reader
+module Loc = S1_loc.Loc
 open S1_ir
 
 exception Convert_error of string
@@ -24,6 +26,7 @@ type env = {
   lexical : (string * Node.var) list;
   globals : (string, Node.var) Hashtbl.t;  (** shared records for free names *)
   specials : string -> bool;  (** globally proclaimed special names *)
+  locs : Sexp.t -> Loc.t option;  (** source positions of forms (provenance) *)
 }
 
 let lookup env name = List.assoc_opt name env.lexical
@@ -130,7 +133,21 @@ let parse_lambda_list params =
 
 (* Conversion ---------------------------------------------------------------- *)
 
+(* Keep {!Node.current_origin} pointed at the position of the form being
+   converted while its nodes are built: forms without their own position
+   inherit the nearest located ancestor's.  Restored on exit so a sibling
+   does not inherit a position from deep inside the previous subtree. *)
 let rec conv env (s : Sexp.t) : Node.node =
+  match env.locs s with
+  | None -> conv_here env s
+  | Some l ->
+      let saved = Node.origin () in
+      Node.set_origin (Some l);
+      let n = conv_here env s in
+      Node.set_origin saved;
+      n
+
+and conv_here env (s : Sexp.t) : Node.node =
   match s with
   | Sexp.Sym name -> (
       match lookup env name with
@@ -231,23 +248,46 @@ and conv_lambda env name params body =
   List.iter (fun p -> p.Node.p_var.Node.v_binder <- Some lam_node) params;
   lam_node
 
-let make_env ?(specials = fun _ -> false) () =
-  { lexical = []; globals = Hashtbl.create 16; specials }
+let make_env ?(specials = fun _ -> false) ?locs () =
+  let locs =
+    match locs with
+    | None -> fun _ -> None
+    | Some tab -> Reader.find_loc tab
+  in
+  { lexical = []; globals = Hashtbl.create 16; specials; locs }
 
-let expression ?specials ?(macros = fun _ -> None) (s : Sexp.t) : Node.node =
-  Macroexp.with_macros macros (fun () -> conv (make_env ?specials ()) (Macroexp.expand s))
+(* With a location table in hand, let macro expansion propagate each
+   original form's position onto its expansion, and keep the node origin
+   scoped to this conversion. *)
+let with_provenance ?locs (s : Sexp.t) f =
+  match locs with
+  | None -> Node.with_origin None f
+  | Some tab ->
+      let hook orig result =
+        match Reader.find_loc tab orig with
+        | Some l -> Reader.add_loc tab result l
+        | None -> ()
+      in
+      Macroexp.with_loc_hook hook (fun () ->
+          Node.with_origin (Reader.find_loc tab s) f)
 
-let defun ?specials ?(macros = fun _ -> None) (s : Sexp.t) : string * Node.node =
+let expression ?specials ?(macros = fun _ -> None) ?locs (s : Sexp.t) : Node.node =
+  Macroexp.with_macros macros (fun () ->
+      with_provenance ?locs s (fun () ->
+          conv (make_env ?specials ?locs ()) (Macroexp.expand s)))
+
+let defun ?specials ?(macros = fun _ -> None) ?locs (s : Sexp.t) : string * Node.node =
   match s with
   | Sexp.List (Sexp.Sym "DEFUN" :: Sexp.Sym name :: Sexp.List params :: body) ->
       Macroexp.with_macros macros (fun () ->
-          let env = make_env ?specials () in
-          let lam =
-            conv_lambda env name (Macroexp.expand_params params)
-              [ Macroexp.expand_body body ]
-          in
-          (match lam.Node.kind with
-          | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
-          | _ -> assert false);
-          (name, lam))
+          with_provenance ?locs s (fun () ->
+              let env = make_env ?specials ?locs () in
+              let lam =
+                conv_lambda env name (Macroexp.expand_params params)
+                  [ Macroexp.expand_body body ]
+              in
+              (match lam.Node.kind with
+              | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
+              | _ -> assert false);
+              (name, lam)))
   | _ -> err "not a DEFUN: %s" (Sexp.to_string s)

@@ -28,6 +28,18 @@ let with_macros macros f =
   current_macros := macros;
   Fun.protect ~finally:(fun () -> current_macros := saved) f
 
+(* Provenance: called as [!loc_hook original expansion] whenever [expand]
+   returns a form physically distinct from its input, so a located reader
+   table can propagate the original's source position onto the expansion.
+   Installed (with {!with_macros}-style dynamic extent) by the converter
+   when it has a location table; a no-op otherwise. *)
+let loc_hook : (Sexp.t -> Sexp.t -> unit) ref = ref (fun _ _ -> ())
+
+let with_loc_hook hook f =
+  let saved = !loc_hook in
+  loc_hook := hook;
+  Fun.protect ~finally:(fun () -> loc_hook := saved) f
+
 let gensym_counter = ref 0
 
 let gensym prefix =
@@ -48,10 +60,14 @@ let trivially_pure = function
   | _ -> false
 
 let rec expand (s : Sexp.t) : Sexp.t =
-  match s with
-  | Sexp.List (Sexp.Sym head :: rest) -> expand_form head rest s
-  | Sexp.List (f :: args) -> list (expand f :: List.map expand args)
-  | _ -> s
+  let result =
+    match s with
+    | Sexp.List (Sexp.Sym head :: rest) -> expand_form head rest s
+    | Sexp.List (f :: args) -> list (expand f :: List.map expand args)
+    | _ -> s
+  in
+  if result != s then !loc_hook s result;
+  result
 
 and expand_body body =
   (* A body is an implicit PROGN; leading DECLARE forms stay in front. *)

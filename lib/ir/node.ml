@@ -98,6 +98,9 @@ type var = {
 and node = {
   n_id : int;
   mutable kind : kind;
+  mutable n_loc : S1_loc.Loc.t option;
+      (** origin in the source text (provenance; stamped at conversion,
+          inherited from the enclosing form by rewrite-created nodes) *)
   (* --- analysis decorations --- *)
   mutable n_free : var list;  (** variables read within the subtree *)
   mutable n_written : var list;  (** variables assigned within the subtree *)
@@ -158,11 +161,27 @@ let next_id = ref 0
 let next_var_id = ref 0
 let next_pb_id = ref 0
 
+(* The provenance origin in dynamic scope: [mk] stamps every fresh node
+   with it, so nodes created during conversion carry the source position
+   of the form being converted, and nodes created by the optimizer carry
+   the position of the form being rewritten (the transform driver keeps
+   it pointed at the rewrite site). *)
+let current_origin : S1_loc.Loc.t option ref = ref None
+
+let set_origin l = current_origin := l
+let origin () = !current_origin
+
+let with_origin l f =
+  let saved = !current_origin in
+  current_origin := l;
+  Fun.protect ~finally:(fun () -> current_origin := saved) f
+
 let mk kind =
   incr next_id;
   {
     n_id = !next_id;
     kind;
+    n_loc = !current_origin;
     n_free = [];
     n_written = [];
     n_effects = no_effects;
@@ -244,6 +263,19 @@ let children n =
 let rec iter f n =
   f n;
   List.iter (iter f) (children n)
+
+(* Fill missing provenance from the nearest located ancestor, so that by
+   code-generation time every node maps to {e some} source line (nodes
+   synthesized by the optimizer inherit the position of the form they
+   were derived from). *)
+let propagate_locs root =
+  let rec go inherited n =
+    (match n.n_loc with
+    | None -> n.n_loc <- inherited
+    | Some _ -> ());
+    List.iter (go n.n_loc) (children n)
+  in
+  go None root
 
 let rec size n = 1 + List.fold_left (fun acc c -> acc + size c) 0 (children n)
 

@@ -5,8 +5,11 @@ type item =
   | Instr of Isa.instr
   | Data of string * datum list
   | Comment of string
+  | Mark of int * S1_loc.Loc.t option
 
 type program = item list
+
+type mark = { m_addr : int; m_node : int; m_loc : S1_loc.Loc.t option }
 
 type image = {
   org : int;
@@ -14,6 +17,7 @@ type image = {
   labels : (string * int) list;
   data_labels : (string * int) list;
   code_words : int;
+  marks : mark list;
 }
 
 exception Asm_error of string list
@@ -21,9 +25,11 @@ exception Asm_error of string list
 let assemble mem ~org prog =
   let errors = ref [] in
   let err fmt_str = Printf.ksprintf (fun s -> errors := s :: !errors) fmt_str in
-  (* Pass 1: lay out code indices and data blocks. *)
+  (* Pass 1: lay out code indices and data blocks; collect provenance
+     marks at their absolute code addresses (the PC line map). *)
   let code_labels = Hashtbl.create 16 in
   let data_labels = Hashtbl.create 4 in
+  let marks = ref [] in
   let n_instrs =
     List.fold_left
       (fun idx item ->
@@ -37,7 +43,10 @@ let assemble mem ~org prog =
             if Hashtbl.mem data_labels l then err "duplicate data label %s" l;
             Hashtbl.replace data_labels l (Mem.alloc_static mem (List.length ws));
             idx
-        | Comment _ -> idx)
+        | Comment _ -> idx
+        | Mark (node, loc) ->
+            marks := { m_addr = org + idx; m_node = node; m_loc = loc } :: !marks;
+            idx)
       0 prog
   in
   let resolve_target = function
@@ -101,7 +110,7 @@ let assemble mem ~org prog =
   List.iter
     (fun item ->
       match item with
-      | Label _ | Comment _ -> ()
+      | Label _ | Comment _ | Mark _ -> ()
       | Instr i ->
           let r = resolve_instr i in
           (match Isa.validate r with
@@ -134,6 +143,7 @@ let assemble mem ~org prog =
     labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) code_labels [];
     data_labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) data_labels [];
     code_words = !words;
+    marks = List.rev !marks;
   }
 
 let pp_item fmt = function
@@ -150,8 +160,14 @@ let pp_item fmt = function
             ws)
         ws
   | Comment c -> Format.fprintf fmt "        ;%s" c
+  | Mark (node, loc) ->
+      Format.fprintf fmt "        ;node %d%s" node
+        (match loc with Some l -> " " ^ S1_loc.Loc.to_string l | None -> "")
 
+(* Marks are provenance metadata, not part of the paper-style listing;
+   keep them out so listings stay byte-stable. *)
 let pp_program fmt prog =
+  let prog = List.filter (function Mark _ -> false | _ -> true) prog in
   Format.pp_open_vbox fmt 0;
   List.iteri
     (fun i item ->

@@ -20,8 +20,18 @@ type item =
   | Instr of Isa.instr
   | Data of string * datum list  (** named static data block *)
   | Comment of string  (** listing only; no code *)
+  | Mark of int * S1_loc.Loc.t option
+      (** provenance: instructions that follow (until the next mark) were
+          generated from IR node [id] at the given source position; no
+          code, excluded from listings *)
 
 type program = item list
+
+type mark = {
+  m_addr : int;  (** absolute code address of the first covered instruction *)
+  m_node : int;  (** IR node id *)
+  m_loc : S1_loc.Loc.t option;
+}
 
 type image = {
   org : int;  (** code address of the first instruction *)
@@ -29,6 +39,7 @@ type image = {
   labels : (string * int) list;  (** code labels to absolute code addresses *)
   data_labels : (string * int) list;  (** data labels to memory addresses *)
   code_words : int;  (** total size in 36-bit words *)
+  marks : mark list;  (** the PC line map, ascending by address *)
 }
 
 exception Asm_error of string list

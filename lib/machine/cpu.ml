@@ -33,6 +33,10 @@ type t = {
   mutable profile : profile option;
   mutable symbols : (int * int * string) list;
       (** (lo, hi, name): loaded code ranges, hi exclusive; newest first *)
+  mutable mark_segments : (int * int * Asm.mark array) list;
+      (** (lo, hi, marks ascending by address): PC line maps of loaded
+          programs, hi exclusive; newest first.  Loads without marks (the
+          runtime's hand-written stubs) contribute no segment. *)
 }
 
 exception Exec_error of { pc : int; message : string }
@@ -62,6 +66,7 @@ let create ?mem () =
       trace = false;
       profile = None;
       symbols = [];
+      mark_segments = [];
     }
   in
   (* Code address 0 is the universal halt used as the host's return
@@ -83,11 +88,16 @@ let ensure_capacity cpu n =
   end
 
 let load cpu prog =
-  let image = Asm.assemble cpu.mem ~org:cpu.code_len prog in
+  let org = cpu.code_len in
+  let image = Asm.assemble cpu.mem ~org prog in
   let n = Array.length image.instrs in
   ensure_capacity cpu n;
   Array.blit image.instrs 0 cpu.code cpu.code_len n;
   cpu.code_len <- cpu.code_len + n;
+  (match image.Asm.marks with
+  | [] -> ()
+  | marks ->
+      cpu.mark_segments <- (org, org + n, Array.of_list marks) :: cpu.mark_segments);
   image
 
 let label_addr (image : Asm.image) l =
@@ -137,6 +147,32 @@ let ensure_profile_capacity p pc =
   end
 
 let add_symbol cpu ~lo ~hi ~name = cpu.symbols <- (lo, hi, name) :: cpu.symbols
+
+(* Provenance: which IR node (and source position) generated the
+   instruction at [pc]?  The covering mark is the one with the greatest
+   address <= pc within the segment containing pc; lookups never cross a
+   segment boundary, so code loaded without marks resolves to [None]
+   rather than to the previous program's last mark. *)
+let provenance_at cpu pc : Asm.mark option =
+  let rec find_segment = function
+    | [] -> None
+    | (lo, hi, marks) :: rest ->
+        if pc >= lo && pc < hi then Some marks else find_segment rest
+  in
+  match find_segment cpu.mark_segments with
+  | None -> None
+  | Some marks ->
+      (* binary search: greatest m_addr <= pc *)
+      let n = Array.length marks in
+      if n = 0 || marks.(0).Asm.m_addr > pc then None
+      else begin
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if marks.(mid).Asm.m_addr <= pc then lo := mid else hi := mid - 1
+        done;
+        Some marks.(!lo)
+      end
 
 let symbol_at cpu pc =
   let rec find = function
@@ -189,6 +225,86 @@ let profile_by_function cpu : func_profile list =
       Hashtbl.fold (fun _ fp acc -> fp :: acc) by_name []
       |> List.sort (fun a b -> compare b.f_cycles a.f_cycles)
 
+type line_profile = {
+  ln_file : string;  (** ["(runtime)"] for unmapped code, ["(no-source)"] for unlocated nodes *)
+  ln_line : int;  (** 0 for the two synthetic buckets *)
+  ln_cycles : int;
+  ln_instructions : int;
+  ln_movs : int;
+}
+
+(* Every executed PC lands in exactly one bucket (a real source line, or
+   one of the two synthetic ones), so the cycle column sums to exactly
+   [stats.cycles] whenever stats and the profile were reset together. *)
+let profile_by_line cpu : line_profile list =
+  match cpu.profile with
+  | None -> []
+  | Some p ->
+      let by_line : (string * int, line_profile) Hashtbl.t = Hashtbl.create 32 in
+      let n = min cpu.code_len (Array.length p.p_cycles) in
+      for pc = 0 to n - 1 do
+        if p.p_instrs.(pc) > 0 || p.p_cycles.(pc) > 0 then begin
+          let key =
+            match provenance_at cpu pc with
+            | Some { Asm.m_loc = Some l; _ } -> (l.S1_loc.Loc.file, l.S1_loc.Loc.line)
+            | Some { Asm.m_loc = None; _ } -> ("(no-source)", 0)
+            | None -> ("(runtime)", 0)
+          in
+          let cur =
+            match Hashtbl.find_opt by_line key with
+            | Some lp -> lp
+            | None ->
+                { ln_file = fst key; ln_line = snd key; ln_cycles = 0; ln_instructions = 0;
+                  ln_movs = 0 }
+          in
+          Hashtbl.replace by_line key
+            {
+              cur with
+              ln_cycles = cur.ln_cycles + p.p_cycles.(pc);
+              ln_instructions = cur.ln_instructions + p.p_instrs.(pc);
+              ln_movs = cur.ln_movs + p.p_movs.(pc);
+            }
+        end
+      done;
+      Hashtbl.fold (fun _ lp acc -> lp :: acc) by_line []
+      |> List.sort (fun a b -> compare b.ln_cycles a.ln_cycles)
+
+type node_profile = {
+  np_node : int;  (** IR node id; -1 for unmapped code *)
+  np_loc : S1_loc.Loc.t option;
+  np_cycles : int;
+  np_instructions : int;
+}
+
+let profile_by_node cpu : node_profile list =
+  match cpu.profile with
+  | None -> []
+  | Some p ->
+      let by_node : (int, node_profile) Hashtbl.t = Hashtbl.create 64 in
+      let n = min cpu.code_len (Array.length p.p_cycles) in
+      for pc = 0 to n - 1 do
+        if p.p_instrs.(pc) > 0 || p.p_cycles.(pc) > 0 then begin
+          let node, loc =
+            match provenance_at cpu pc with
+            | Some m -> (m.Asm.m_node, m.Asm.m_loc)
+            | None -> (-1, None)
+          in
+          let cur =
+            match Hashtbl.find_opt by_node node with
+            | Some np -> np
+            | None -> { np_node = node; np_loc = loc; np_cycles = 0; np_instructions = 0 }
+          in
+          Hashtbl.replace by_node node
+            {
+              cur with
+              np_cycles = cur.np_cycles + p.p_cycles.(pc);
+              np_instructions = cur.np_instructions + p.p_instrs.(pc);
+            }
+        end
+      done;
+      Hashtbl.fold (fun _ np acc -> np :: acc) by_node []
+      |> List.sort (fun a b -> compare b.np_cycles a.np_cycles)
+
 let opcode_histogram cpu =
   match cpu.profile with
   | None -> []
@@ -208,6 +324,38 @@ let pp_profile fmt cpu =
         f.f_instructions f.f_movs f.f_calls)
     fns;
   Format.fprintf fmt "@,%-28s %12d@," "total" total;
+  (match profile_by_line cpu with
+  | [] -> ()
+  | lines ->
+      Format.fprintf fmt "@,%-28s %12s %6s %10s %8s@," "source line" "cycles" "%" "instrs"
+        "movs";
+      List.iter
+        (fun l ->
+          let label =
+            if l.ln_line = 0 then l.ln_file else Printf.sprintf "%s:%d" l.ln_file l.ln_line
+          in
+          Format.fprintf fmt "%-28s %12d %5.1f%% %10d %8d@," label l.ln_cycles
+            (if total = 0 then 0.0 else 100.0 *. float_of_int l.ln_cycles /. float_of_int total)
+            l.ln_instructions l.ln_movs)
+        lines);
+  (match profile_by_node cpu with
+  | [] -> ()
+  | nodes ->
+      Format.fprintf fmt "@,%-28s %12s %6s %10s@," "IR node" "cycles" "%" "instrs";
+      List.iter
+        (fun np ->
+          let label =
+            if np.np_node < 0 then "(runtime)"
+            else
+              Printf.sprintf "n%d%s" np.np_node
+                (match np.np_loc with
+                | Some l -> " @ " ^ S1_loc.Loc.to_string l
+                | None -> "")
+          in
+          Format.fprintf fmt "%-28s %12d %5.1f%% %10d@," label np.np_cycles
+            (if total = 0 then 0.0 else 100.0 *. float_of_int np.np_cycles /. float_of_int total)
+            np.np_instructions)
+        nodes);
   (match opcode_histogram cpu with
   | [] -> ()
   | ops ->

@@ -52,6 +52,9 @@ type t = {
   mutable profile : profile option;  (** per-PC attribution; None = off (zero cost) *)
   mutable symbols : (int * int * string) list;
       (** (lo, hi, name): loaded code ranges, hi exclusive; newest first *)
+  mutable mark_segments : (int * int * Asm.mark array) list;
+      (** (lo, hi, marks): PC line maps per loaded image, hi exclusive;
+          lookups never cross a segment boundary *)
 }
 
 exception Exec_error of { pc : int; message : string }
@@ -115,6 +118,40 @@ type func_profile = {
 
 val profile_by_function : t -> func_profile list
 (** Sorted by cycles, descending; unsymbolized code pools under ["?"]. *)
+
+(** {1 Provenance}
+
+    Loaded images carry a PC line map ({!Asm.image.marks}); the profiler
+    joins its per-PC attribution against it to report hottest source
+    lines and hottest IR nodes. *)
+
+val provenance_at : t -> int -> Asm.mark option
+(** The mark covering a code address: greatest [m_addr <= pc] within the
+    image that contains [pc]; [None] for unmapped code (runtime stubs,
+    hand-assembled programs). *)
+
+type line_profile = {
+  ln_file : string;  (** ["(runtime)"] for unmapped code, ["(no-source)"] for unlocated nodes *)
+  ln_line : int;  (** 0 for the two synthetic buckets *)
+  ln_cycles : int;
+  ln_instructions : int;
+  ln_movs : int;
+}
+
+val profile_by_line : t -> line_profile list
+(** Per-PC attribution folded by source line, descending by cycles.
+    Every executed PC lands in exactly one bucket, so cycle totals sum
+    to [stats.cycles] when stats and profile were reset together. *)
+
+type node_profile = {
+  np_node : int;  (** IR node id; -1 for unmapped code *)
+  np_loc : S1_loc.Loc.t option;
+  np_cycles : int;
+  np_instructions : int;
+}
+
+val profile_by_node : t -> node_profile list
+(** Per-PC attribution folded by generating IR node, descending by cycles. *)
 
 val opcode_histogram : t -> (string * int) list
 (** Executions per opcode family, descending. *)

@@ -1,3 +1,5 @@
+module Loc = S1_loc.Loc
+
 type error = { line : int; col : int; message : string }
 
 exception Parse_error of error
@@ -8,9 +10,41 @@ let pp_error fmt { line; col; message } =
 let fixnum_min = -(1 lsl 35)
 let fixnum_max = (1 lsl 35) - 1
 
-type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+(* Side table from parsed form to its source position.  Sexp values are
+   immutable and freshly allocated by the reader, so physical identity is
+   the key; buckets are indexed by structural hash and searched with
+   [==].  [add_loc] is also open to later pipeline stages (the macro
+   expander propagates an original form's location onto its expansion). *)
+type loctab = { lt_file : string; lt_tbl : (int, (Sexp.t * Loc.t) list) Hashtbl.t }
 
-let make src = { src; pos = 0; line = 1; col = 1 }
+let create_loctab ?(file = "<string>") () = { lt_file = file; lt_tbl = Hashtbl.create 64 }
+
+let loctab_file t = t.lt_file
+
+let find_loc t (s : Sexp.t) : Loc.t option =
+  let rec search = function
+    | [] -> None
+    | (s', l) :: rest -> if s' == s then Some l else search rest
+  in
+  match Hashtbl.find_opt t.lt_tbl (Hashtbl.hash s) with
+  | None -> None
+  | Some bucket -> search bucket
+
+let add_loc t (s : Sexp.t) (l : Loc.t) =
+  if find_loc t s = None then
+    let h = Hashtbl.hash s in
+    let bucket = match Hashtbl.find_opt t.lt_tbl h with Some b -> b | None -> [] in
+    Hashtbl.replace t.lt_tbl h ((s, l) :: bucket)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable on_form : Sexp.t -> line:int -> col:int -> unit;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1; on_form = (fun _ ~line:_ ~col:_ -> ()) }
 let eof st = st.pos >= String.length st.src
 let peek st = if eof st then '\000' else st.src.[st.pos]
 let peek2 st = if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
@@ -182,7 +216,14 @@ let read_char_lit st =
 let rec read_form st =
   skip_ws st;
   if eof st then fail st "unexpected end of input"
-  else
+  else begin
+    let line = st.line and col = st.col in
+    let form = read_form_at st in
+    st.on_form form ~line ~col;
+    form
+  end
+
+and read_form_at st =
     match peek st with
     | '(' ->
         advance st;
@@ -247,6 +288,16 @@ let parse_string src =
     if eof st then List.rev acc else loop (read_form st :: acc)
   in
   loop []
+
+let parse_string_located ?(file = "<string>") src =
+  let st = make src in
+  let tab = create_loctab ~file () in
+  st.on_form <- (fun form ~line ~col -> add_loc tab form (Loc.make ~file ~line ~col));
+  let rec loop acc =
+    skip_ws st;
+    if eof st then List.rev acc else loop (read_form st :: acc)
+  in
+  (loop [], tab)
 
 let parse_one src =
   match parse_string src with

@@ -23,6 +23,29 @@ val pp_error : Format.formatter -> error -> unit
 val parse_string : string -> Sexp.t list
 (** Parse every form in the string. Raises {!Parse_error}. *)
 
+(** {1 Located parsing}
+
+    [parse_string_located] additionally returns a side table mapping
+    every parsed form (and subform) to its 1-based [line:col] position.
+    The table is keyed by {e physical} identity — the reader allocates
+    every [Sexp.t] fresh, so the association is unambiguous.  Later
+    stages (the macro expander) may [add_loc] further entries to
+    propagate an original form's position onto a rewritten form. *)
+
+type loctab
+
+val create_loctab : ?file:string -> unit -> loctab
+val loctab_file : loctab -> string
+val find_loc : loctab -> Sexp.t -> S1_loc.Loc.t option
+
+val add_loc : loctab -> Sexp.t -> S1_loc.Loc.t -> unit
+(** First association wins; adding a location for a form that already
+    has one is a no-op. *)
+
+val parse_string_located : ?file:string -> string -> Sexp.t list * loctab
+(** Parse every form, recording positions under [file] (default
+    ["<string>"]). Raises {!Parse_error}. *)
+
 val parse_one : string -> Sexp.t
 (** Parse exactly one form; error when the input holds zero or >1 forms. *)
 

@@ -120,8 +120,11 @@ let eliminate_one (ts : Transcript.t) (root : node) : bool =
       home.kind <- Call (lam, [ init ]);
       home.n_dirty <- true;
       S1_obs.Obs.incr "rule.COMMON-SUBEXPRESSION-ELIMINATION";
-      Transcript.record ts ~before ~after:(Backtrans.to_string home)
-        ~rule:"COMMON-SUBEXPRESSION-ELIMINATION";
+      (match home.n_loc with
+      | Some l -> S1_obs.Obs.incr ("rule_at." ^ S1_loc.Loc.line_key l)
+      | None -> ());
+      Transcript.record ts ~pass:"cse" ~node:home.n_id ?loc:home.n_loc ~before
+        ~after:(Backtrans.to_string home) ~rule:"COMMON-SUBEXPRESSION-ELIMINATION" ();
       true
 
 let run ?(transcript = Transcript.create ~enabled:false ()) (root : node) : int =

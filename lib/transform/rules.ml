@@ -51,12 +51,21 @@ let nothing =
 
 type ctx = { cfg : config; ts : Transcript.t }
 
+(* Count a rule firing both globally and per source line, so hot rewrite
+   sites show up in --timings/--metrics alongside hot rules. *)
+let count_fire rule (n : node) =
+  S1_obs.Obs.incr ("rule." ^ rule);
+  match n.n_loc with
+  | Some l -> S1_obs.Obs.incr ("rule_at." ^ S1_loc.Loc.line_key l)
+  | None -> ()
+
 let fire ctx rule (n : node) (new_kind : kind) =
   let before = Backtrans.to_string n in
   n.kind <- new_kind;
   n.n_dirty <- true;
-  S1_obs.Obs.incr ("rule." ^ rule);
-  Transcript.record ctx.ts ~before ~after:(Backtrans.to_string n) ~rule;
+  count_fire rule n;
+  Transcript.record ctx.ts ~node:n.n_id ?loc:n.n_loc ~before
+    ~after:(Backtrans.to_string n) ~rule ();
   true
 
 (* Constant truthiness of a quoted term. *)
@@ -230,9 +239,9 @@ let rule_beta ctx (n : node) =
           (if params = [] && args' = [] then n.kind <- l.l_body.kind
            else n.kind <- Call (f, args'));
           n.n_dirty <- true;
-          S1_obs.Obs.incr "rule.META-SUBSTITUTE";
-          Transcript.record ctx.ts ~before ~after:(Backtrans.to_string n)
-            ~rule:"META-SUBSTITUTE";
+          count_fire "META-SUBSTITUTE" n;
+          Transcript.record ctx.ts ~node:n.n_id ?loc:n.n_loc ~before
+            ~after:(Backtrans.to_string n) ~rule:"META-SUBSTITUTE" ();
           true
         end
     | _ -> false

@@ -21,11 +21,15 @@ let sweep (ctx : Rules.ctx) (root : node) : bool =
   let changed = ref false in
   let rec visit n =
     List.iter visit (children n);
+    (* provenance: nodes a rule creates while rewriting [n] inherit [n]'s
+       source position *)
+    Node.set_origin n.n_loc;
     List.iter
       (fun (_, rule) -> if rule ctx n then changed := true)
       Rules.all_rules
   in
   visit root;
+  Node.set_origin None;
   !changed
 
 let run ?(config = Rules.default_config) ?(transcript = Transcript.create ~enabled:false ())

@@ -1,31 +1,180 @@
-(** The optimizer's debugging transcript.
+(** The optimizer's rewrite journal — a structured flight recorder.
 
-    Reproduces the format of the paper's §7 compile transcript:
+    Every rule firing is one {!event} carrying a global sequence number,
+    the phase that fired it, the rule name, the rewritten node's id and
+    source position, and the before/after source renderings.  Two views
+    render over the same events:
+
+    - {!pp} / {!to_string}: the paper's §7 compile-transcript text,
 
     {v
     ;**** Optimizing this form: (+$F A B C)
     ;**** to be this form: (+$F (+$F C B) A)
     ;**** courtesy of META-EVALUATE-ASSOC-COMMUT-CALL
-    v} *)
+    v}
 
-type entry = { before : string; after : string; rule : string }
+    - {!to_jsonl} / {!of_jsonl}: a machine-readable journal (schema
+      {!schema_version}) of one JSON object per line, behind
+      [s1lc --trace FILE.jsonl].
 
-type t = { mutable entries : entry list; mutable enabled : bool }
+    A transcript can serve as a persistent per-compiler journal:
+    {!mark}/{!since} slice out the events of one compilation unit without
+    disturbing the whole-session record. *)
 
-let create ?(enabled = true) () = { entries = []; enabled }
+module Loc = S1_loc.Loc
+module Json = S1_obs.Obs.Json
 
-let record t ~before ~after ~rule =
-  if t.enabled then t.entries <- { before; after; rule } :: t.entries
+type event = {
+  ev_seq : int;  (** global order of firing, 0-based *)
+  ev_pass : string;  (** the phase that fired ("simplify", "cse") *)
+  ev_rule : string;
+  ev_node : int;  (** {!S1_ir.Node.node} id of the rewritten node; -1 unknown *)
+  ev_loc : Loc.t option;  (** source position of the rewritten node *)
+  ev_before : string;
+  ev_after : string;
+}
 
-let entries t = List.rev t.entries
-let rules_fired t = List.rev_map (fun e -> e.rule) t.entries |> List.rev
-let clear t = t.entries <- []
+type t = {
+  mutable events : event list;  (* newest first *)
+  mutable enabled : bool;
+  mutable next_seq : int;
+}
+
+let create ?(enabled = true) () = { events = []; enabled; next_seq = 0 }
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+
+let record t ?(pass = "simplify") ?(node = -1) ?loc ~before ~after ~rule () =
+  if t.enabled then begin
+    t.events <-
+      { ev_seq = t.next_seq; ev_pass = pass; ev_rule = rule; ev_node = node; ev_loc = loc;
+        ev_before = before; ev_after = after }
+      :: t.events;
+    t.next_seq <- t.next_seq + 1
+  end
+
+let events t = List.rev t.events
+let entries = events
+let rules_fired t = List.map (fun e -> e.ev_rule) t.events
+
+let clear t = t.events <- []
+
+(** {1 Slicing} — per-unit views over a persistent journal *)
+
+let mark t = t.next_seq
+
+let since t m =
+  {
+    events = List.filter (fun e -> e.ev_seq >= m) t.events;
+    enabled = t.enabled;
+    next_seq = t.next_seq;
+  }
+
+(** {1 The §7 text renderer} *)
 
 let pp fmt t =
   List.iter
     (fun e ->
       Format.fprintf fmt ";**** Optimizing this form: %s@.;**** to be this form: %s@.;**** courtesy of %s@.@."
-        e.before e.after e.rule)
-    (entries t)
+        e.ev_before e.ev_after e.ev_rule)
+    (events t)
 
 let to_string t = Format.asprintf "%a" pp t
+
+(** {1 The JSONL journal} *)
+
+let schema_version = "s1lisp.trace/1"
+
+let json_of_event (e : event) : Json.t =
+  Json.Obj
+    [
+      ("seq", Json.Int e.ev_seq);
+      ("pass", Json.Str e.ev_pass);
+      ("rule", Json.Str e.ev_rule);
+      ("node_id", Json.Int e.ev_node);
+      ( "loc",
+        match e.ev_loc with
+        | None -> Json.Null
+        | Some l ->
+            Json.Obj
+              [
+                ("file", Json.Str l.Loc.file);
+                ("line", Json.Int l.Loc.line);
+                ("col", Json.Int l.Loc.col);
+              ] );
+      ("before", Json.Str e.ev_before);
+      ("after", Json.Str e.ev_after);
+    ]
+
+(* One header line carrying the schema, then one event per line. *)
+let to_jsonl t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Json.to_string ~pretty:false (Json.Obj [ ("schema", Json.Str schema_version) ]));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Json.to_string ~pretty:false (json_of_event e));
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+exception Journal_error of string
+
+let event_of_json (j : Json.t) : event =
+  let get name = Json.member name j in
+  let int name ~default =
+    match Option.bind (get name) Json.to_int with Some n -> n | None -> default
+  in
+  let str name =
+    match Option.bind (get name) Json.to_str with
+    | Some s -> s
+    | None -> raise (Journal_error (Printf.sprintf "event missing field %S" name))
+  in
+  let loc =
+    match get "loc" with
+    | Some (Json.Obj _ as l) -> (
+        match
+          ( Option.bind (Json.member "file" l) Json.to_str,
+            Option.bind (Json.member "line" l) Json.to_int,
+            Option.bind (Json.member "col" l) Json.to_int )
+        with
+        | Some file, Some line, Some col -> Some (Loc.make ~file ~line ~col)
+        | _ -> raise (Journal_error "malformed loc object"))
+    | _ -> None
+  in
+  {
+    ev_seq = int "seq" ~default:0;
+    ev_pass = str "pass";
+    ev_rule = str "rule";
+    ev_node = int "node_id" ~default:(-1);
+    ev_loc = loc;
+    ev_before = str "before";
+    ev_after = str "after";
+  }
+
+let of_jsonl (src : string) : t =
+  let lines =
+    String.split_on_char '\n' src |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> raise (Journal_error "empty journal")
+  | header :: rest ->
+      let hj =
+        try Json.parse header
+        with Json.Parse_error m -> raise (Journal_error ("bad header: " ^ m))
+      in
+      (match Option.bind (Json.member "schema" hj) Json.to_str with
+      | Some s when s = schema_version -> ()
+      | Some s -> raise (Journal_error (Printf.sprintf "unsupported schema %S" s))
+      | None -> raise (Journal_error "header lacks a schema field"));
+      let evs =
+        List.map
+          (fun line ->
+            match Json.parse line with
+            | j -> event_of_json j
+            | exception Json.Parse_error m -> raise (Journal_error ("bad event: " ^ m)))
+          rest
+      in
+      let next = List.fold_left (fun acc e -> max acc (e.ev_seq + 1)) 0 evs in
+      { events = List.rev evs; enabled = true; next_seq = next }
