@@ -17,7 +17,13 @@
      s1lc --annotate ...                   annotated listing: source lines
                                            interleaved with instructions and
                                            measured cycles
-     s1lc --metrics out.json ...           write all of the above as JSON *)
+     s1lc --metrics out.json ...           write all of the above as JSON
+     s1lc --fuzz 500 --seed 42             differential fuzzing: generated
+                                           programs, interpreter vs compiled
+                                           across the optimization lattice
+     s1lc --fuzz N --fuzz-report out.json  ... with a structured report
+     s1lc --no-tnbind --no-pdl ...         flip individual optimizations
+                                           (reproduce a fuzz-reported config) *)
 
 module C = S1_core.Compiler
 module Rt = S1_runtime.Rt
@@ -85,17 +91,7 @@ let metrics_json ~(cpu : Cpu.t) () : Json.t =
   | other -> other
 
 let run phases listing transcript tns interpret repl stats timings profile metrics trace
-    annotate unchecked no_opt cse peephole evals files =
-  let options =
-    {
-      S1_codegen.Gen.default_options with
-      S1_codegen.Gen.checked = not unchecked;
-      S1_codegen.Gen.peephole = peephole;
-    }
-  in
-  let rules =
-    if no_opt then S1_transform.Rules.nothing else S1_transform.Rules.default_config
-  in
+    annotate (rules, options) cse fuzz seed fuzz_report evals files =
   let c = C.create ~options ~rules ~cse () in
   (* measure only the user's forms: boot noise (builtin stubs, prelude)
      stays out of the counters and the profile *)
@@ -109,7 +105,8 @@ let run phases listing transcript tns interpret repl stats timings profile metri
   List.iter (Obs.incr ~n:0)
     [ "rule.COMMON-SUBEXPRESSION-ELIMINATION"; "cse.eliminated"; "pdl.candidates";
       "pdl.stack_boxes"; "pdl.heap_boxes"; "tn.total"; "tn.in_registers"; "tn.pointer_slots";
-      "tn.scratch_slots"; "tn.across_call" ];
+      "tn.scratch_slots"; "tn.across_call"; "fuzz.programs"; "fuzz.divergences";
+      "fuzz.shrink_steps"; "fuzz.interp_errors" ];
   Cpu.reset_stats c.C.rt.Rt.cpu;
   (* --annotate needs per-PC cycle counts and the loaded programs *)
   if profile || annotate then Cpu.enable_profile c.C.rt.Rt.cpu;
@@ -162,6 +159,23 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       close_in ic;
       process_string ~file src)
     files;
+  (* differential fuzzing: seeded generation, interpreter-vs-compiled
+     oracle across the optimization lattice, shrunk counterexamples *)
+  let fuzz_failed =
+    match fuzz with
+    | None -> false
+    | Some count ->
+        let report = S1_fuzz.Fuzz.run ~seed ~count () in
+        print_string (S1_fuzz.Fuzz.summary report);
+        (match fuzz_report with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Json.to_string (S1_fuzz.Fuzz.json report));
+            output_char oc '\n';
+            close_out oc);
+        report.S1_fuzz.Fuzz.r_findings <> []
+  in
   let out = Rt.output c.C.rt in
   if out <> "" then print_string out;
   if repl then begin
@@ -209,14 +223,15 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       let oc = open_out file in
       output_string oc (S1_transform.Transcript.to_jsonl c.C.journal);
       close_out oc);
-  match metrics with
+  (match metrics with
   | None -> ()
   | Some file ->
       let doc = metrics_json ~cpu:c.C.rt.Rt.cpu () in
       let oc = open_out file in
       output_string oc (Json.to_string doc);
       output_char oc '\n';
-      close_out oc
+      close_out oc);
+  if fuzz_failed then exit 1
 
 open Cmdliner
 
@@ -282,6 +297,89 @@ let cse =
 let peephole =
   Arg.(value & flag & info [ "peephole" ] ~doc:"Enable branch tensioning and dead-code peephole (§4.5).")
 
+(* The optimization lattice, flag by flag: each Rules.config rule family
+   and each Gen.options ablation is individually addressable, so any
+   configuration the fuzzer reports is reproducible by hand. *)
+let rule_flag name doc = Arg.(value & flag & info [ name ] ~doc)
+let no_beta = rule_flag "no-beta" "Disable the three beta-conversion rules."
+let no_fold = rule_flag "no-fold" "Disable compile-time expression evaluation."
+let no_ifopt = rule_flag "no-ifopt" "Disable conditional simplification and distribution."
+let no_assoc = rule_flag "no-assoc" "Disable associative/commutative canonicalization."
+let no_identities = rule_flag "no-identities" "Disable identity-operand elimination."
+let no_deadcode = rule_flag "no-deadcode" "Disable dead-code elimination."
+let no_sinc = rule_flag "no-sinc" "Disable the sin\\$f -> sinc\\$f strength reduction."
+let no_integrate = rule_flag "no-integrate" "Disable procedure integration."
+let no_specialize = rule_flag "no-specialize" "Disable declared-type specialization."
+let no_tnbind = rule_flag "no-tnbind" "Disable TNBIND packing: every TN to a frame slot."
+let no_pdl = rule_flag "no-pdl" "Disable pdl numbers: heap-allocate all number boxes."
+
+let no_cache_specials =
+  rule_flag "no-cache-specials" "Disable the special-variable lookup cache."
+
+let no_inline_prims =
+  rule_flag "no-inline-prims" "Compile every primitive as a call to its native."
+
+let config_term =
+  let mk unchecked no_opt peephole no_beta no_fold no_ifopt no_assoc no_identities
+      no_deadcode no_sinc no_integrate no_specialize no_tnbind no_pdl no_cache_specials
+      no_inline_prims =
+    let module R = S1_transform.Rules in
+    let r = if no_opt then R.nothing else R.default_config in
+    let r =
+      {
+        r with
+        R.beta = r.R.beta && not no_beta;
+        R.fold = r.R.fold && not no_fold;
+        R.ifopt = r.R.ifopt && not no_ifopt;
+        R.assoc = r.R.assoc && not no_assoc;
+        R.identities = r.R.identities && not no_identities;
+        R.deadcode = r.R.deadcode && not no_deadcode;
+        R.sinc = r.R.sinc && not no_sinc;
+        R.integrate = r.R.integrate && not no_integrate;
+        R.typed_specialize = r.R.typed_specialize && not no_specialize;
+      }
+    in
+    let o =
+      {
+        S1_codegen.Gen.checked = not unchecked;
+        S1_codegen.Gen.use_tnbind = not no_tnbind;
+        S1_codegen.Gen.pdl_numbers = not no_pdl;
+        S1_codegen.Gen.cache_specials = not no_cache_specials;
+        S1_codegen.Gen.inline_prims = not no_inline_prims;
+        S1_codegen.Gen.peephole = peephole;
+      }
+    in
+    (r, o)
+  in
+  Term.(
+    const mk $ unchecked $ no_opt $ peephole $ no_beta $ no_fold $ no_ifopt $ no_assoc
+    $ no_identities $ no_deadcode $ no_sinc $ no_integrate $ no_specialize $ no_tnbind
+    $ no_pdl $ no_cache_specials $ no_inline_prims)
+
+let fuzz =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuzz" ] ~docv:"N"
+        ~doc:"Differential fuzzing: generate $(docv) seeded programs and compare \
+              interpreter vs compiled execution across the optimization lattice, \
+              shrinking any divergence.  Exits non-zero if one is found.")
+
+let seed =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Master seed for $(b,--fuzz); program $(i,i) of a run uses seed S+i, so \
+              $(b,--fuzz 1 --seed S+i) reproduces it exactly.")
+
+let fuzz_report =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fuzz-report" ] ~docv:"FILE"
+        ~doc:"Write the fuzz run's findings as JSON (schema s1lisp.fuzz/1) to $(docv); \
+              deterministic for a fixed seed and lattice.")
+
 let evals =
   Arg.(value & opt_all string [] & info [ "eval"; "e" ] ~docv:"FORM" ~doc:"Evaluate $(docv).")
 
@@ -293,7 +391,7 @@ let cmd =
     (Cmd.info "s1lc" ~doc)
     Term.(
       const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ timings
-      $ profile $ metrics $ trace $ annotate $ unchecked $ no_opt $ cse $ peephole $ evals
-      $ files)
+      $ profile $ metrics $ trace $ annotate $ config_term $ cse $ fuzz $ seed
+      $ fuzz_report $ evals $ files)
 
 let () = exit (Cmd.eval cmd)

@@ -96,10 +96,65 @@ let deletable (n : node) =
    no duplication when it allocates. *)
 let duplicable (n : node) = deletable n && not n.n_effects.eff_alloc
 
-(* May evaluation of [a] be exchanged with evaluation of [b]? *)
+(* Does evaluation observe any state a side effect could touch: a
+   variable (lexical or special) or anything behind an unknown call?
+   Prim calls over read-free operands are read-free — (CAR (CONS 1 2))
+   inspects only structure younger than the expression itself.  A
+   lambda expression counts its body: closure creation copies captured
+   values into the environment vector. *)
+let rec reads_anything (n : node) =
+  match n.kind with
+  | Term _ -> false
+  | Var _ -> true
+  | Setq _ -> true
+  | Call ({ kind = Term (S1_sexp.Sexp.Sym fname); _ }, _) -> (
+      match Prims.find fname with
+      | Some _ -> List.exists reads_anything (children n)
+      | None -> true)
+  | Call _ -> true
+  | _ -> List.exists reads_anything (children n)
+
+(* Does evaluation store into any state another expression could
+   observe: a SETQ (lexical or special), a special rebinding, or
+   anything behind an unknown call?  [eff_special] alone cannot answer
+   this — it covers reads as well as writes of specials (and every
+   free-variable reference) — so when only it is set we scan for the
+   writing forms syntactically. *)
+let writes_anything (n : node) =
+  let e = n.n_effects in
+  e.eff_write || e.eff_unknown_call
+  || (e.eff_special
+     &&
+     let rec scan (m : node) =
+       match m.kind with
+       | Setq (v, e') -> v.v_special || v.v_binder = None || scan e'
+       | Lambda l ->
+           (* only binding-time defaults evaluate now; the body later *)
+           List.exists
+             (fun p -> match p.p_default with Some d -> scan d | None -> false)
+             l.l_params
+       | Call ({ kind = Lambda l; _ }, args) ->
+           (* an open-coded binding of a special rebinds it: a write *)
+           List.exists (fun p -> p.p_var.v_special) l.l_params
+           || List.exists scan args || scan l.l_body
+       | Call _ -> List.exists scan (children m)
+       | _ -> List.exists scan (children m)
+     in
+     scan n)
+
+(* May evaluation of [a] be exchanged with evaluation of [b]?  Reads
+   exchange freely with reads; a write only exchanges with an
+   expression that observes nothing (a pure expression that merely
+   reads a variable must not move across a SETQ of it — found by the
+   differential fuzzer when assoc canonicalization reversed the
+   operands of a multiply whose first operand was a SETQ and whose
+   last read the same variable).  Control transfers and unknown calls
+   exchange with nothing: which THROW wins is observable.  Write/write
+   conflicts fall out of the write/observe test because every writing
+   form also counts as observing (SETQ delivers the value it read or
+   computed). *)
 let commutable (a : node) (b : node) =
-  let ea = a.n_effects and eb = b.n_effects in
-  let pure_enough e =
-    (not e.eff_write) && (not e.eff_unknown_call) && (not e.eff_control) && not e.eff_special
-  in
-  pure_enough ea || pure_enough eb
+  let ctrl (n : node) = n.n_effects.eff_control || n.n_effects.eff_unknown_call in
+  (not (ctrl a)) && (not (ctrl b))
+  && ((not (writes_anything a)) || not (reads_anything b))
+  && ((not (writes_anything b)) || not (reads_anything a))

@@ -319,28 +319,21 @@ let simple_operand ctx (n : node) : Isa.operand option =
 
 (* Forward declaration style: the generators are mutually recursive. *)
 
-let is_inline_prim ctx fname nargs =
-  ctx.opt.inline_prims
-  &&
-  match fname with
-  | "+$F" | "-$F" | "*$F" | "/$F" | "MAX$F" | "MIN$F" | "ATAN$F" -> nargs = 2 || nargs = 1
-  | "SQRT$F" | "SINC$F" | "COSC$F" | "SIN$F" | "COS$F" | "EXP$F" | "LOG$F" -> nargs = 1
-  | "<$F" | "=$F" | "<&" | "=&" -> nargs = 2
-  | "+&" | "-&" | "*&" -> nargs = 2 || nargs = 1
-  | "+" | "-" | "*" | "/" | "MAX" | "MIN" | "MOD" | "REM" -> nargs = 2 || nargs = 1
-  | "<" | "<=" | ">" | ">=" | "=" -> nargs = 2
-  | "1+" | "1-" | "ZEROP" | "ODDP" | "EVENP" | "SQRT" | "SIN" | "COS" | "EXP" | "LOG" ->
-      nargs = 1
-  | "FLOOR" | "CEILING" | "TRUNCATE" | "ROUND" -> nargs = 1
-  | "CAR" | "CDR" | "NOT" | "NULL" -> nargs = 1
-  | "CONS" | "EQ" | "EQL" | "EQUAL" | "THROW" | "ATAN" -> nargs = 2
-  | "FUNCALL" -> nargs >= 1
-  | _ -> false
+(* The name-and-arity table is shared with representation analysis
+   (Prims.inlinable): repan must predict exactly which calls deliver a
+   raw-rep inline result vs a tagged POINTER through the calling
+   convention. *)
+let is_inline_prim ctx fname nargs = ctx.opt.inline_prims && Prims.inlinable fname nargs
 
-(* Is this call compiled as a real machine CALL (clobbering registers)? *)
+(* Is this call compiled as a real machine CALL (clobbering registers)?
+   FUNCALL is in the inline-prim list (it never goes through a function
+   cell) but still expands to a %CALL, so it clobbers registers like any
+   other full call — found by the differential fuzzer as a DOTIMES
+   counter kept in a register across a FUNCALL in the loop body. *)
 let is_real_call ctx (n : node) =
   match n.kind with
   | Call ({ kind = Lambda l; _ }, _) -> l.l_strategy <> Open
+  | Call ({ kind = Term (Sexp.Sym "FUNCALL"); _ }, _) -> true
   | Call ({ kind = Term (Sexp.Sym fname); _ }, args) ->
       not (is_inline_prim ctx fname (List.length args))
   | Call ({ kind = Var v; _ }, _) -> not (Hashtbl.mem ctx.jumps v.v_id)
@@ -391,7 +384,7 @@ let rec gen ctx (n : node) (dest : dest) : unit =
   | Lambda l -> gen_closure ctx n l dest
   | Call (f, args) -> gen_call ctx n f args dest
   | Caseq (key, clauses, default) -> gen_caseq ctx key clauses default dest
-  | Catcher (tag, body) -> gen_catch ctx tag body dest
+  | Catcher (tag, body) -> gen_catch ctx n tag body dest
   | Progbody pb -> gen_progbody ctx pb dest
   | Go tag -> gen_go ctx tag
   | Return e -> gen_return ctx e
@@ -999,7 +992,7 @@ and gen_caseq ctx key clauses default dest =
 
 (* catch / throw ----------------------------------------------------------------- *)
 
-and gen_catch ctx tag body dest =
+and gen_catch ctx n tag body dest =
   let handler = fresh_label ctx "CATCH" in
   gen_into ctx tag r0;
   emit ctx (Isa.Mov (r1, Isa.Lab handler));
@@ -1012,14 +1005,12 @@ and gen_catch ctx tag body dest =
   ctx.catch_depth <- ctx.catch_depth - 1;
   emit ctx (Isa.Svc Svc.catch_pop);
   emit_label ctx handler;
-  (* both normal completion and throws arrive here with the value in A *)
-  match dest with
-  | Ret -> emit ctx Isa.Ret
-  | Ignore -> ()
-  | To dst -> if dst <> a_reg then emit ctx (Isa.Mov (dst, a_reg))
-  | Branch (lt, lf) ->
-      emit ctx (Isa.Jmp (Isa.NEQ, a_reg, nil ctx, Isa.L lt));
-      emit ctx (Isa.Jmpa (Isa.L lf))
+  (* Both normal completion and throws arrive here with the (tagged)
+     value in A; deliver_operand interposes the POINTER -> WANTREP
+     coercion the context asked for.  A bare Mov here handed the raw
+     tagged word to SWFIX contexts — found by the differential fuzzer
+     as (LET ((X (CATCH 'K E))) (DECLARE (FIXNUM X)) X). *)
+  deliver_operand ctx n a_reg dest
 
 (* progbody / go / return ---------------------------------------------------------- *)
 

@@ -140,7 +140,7 @@ let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
          avoid the introduction/elimination thrashing the paper describes. *)
       if c.cse then ignore (S1_transform.Cse.run ~transcript:ts lam_node);
       (* Simplify/CSE leave the tree analyzed (including binding annotation). *)
-      S1_rep.Repan.run lam_node;
+      S1_rep.Repan.run ~inline:c.options.Gen.inline_prims lam_node;
       S1_rep.Pdlnum.run lam_node;
       Transcript.set_enabled ts was_enabled;
       Transcript.since ts m)
@@ -250,6 +250,16 @@ let eval_string ?(file = "<eval>") (c : t) (src : string) : int =
   Fun.protect
     ~finally:(fun () -> c.locs <- saved)
     (fun () -> List.fold_left (fun _ f -> eval c f) c.rt.Rt.nil forms)
+
+let eval_forms (c : t) (forms : Sexp.t list) : int =
+  List.fold_left (fun _ f -> eval c f) c.rt.Rt.nil forms
+
+(** Compile-evaluate a whole program and print its final value — the
+    result-printing entry point the differential-testing oracle drives
+    ([lib/fuzz]): one call, one canonical string to compare against the
+    interpreter's. *)
+let eval_print (c : t) (forms : Sexp.t list) : string =
+  Rt.print_value c.rt (eval_forms c forms)
 
 (* Introspection --------------------------------------------------------------- *)
 

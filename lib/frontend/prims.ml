@@ -378,6 +378,31 @@ let is_primitive name = Hashtbl.mem by_name name
 
 let is_pure name = match find name with Some p -> p.pure | None -> false
 
+(* Which prim calls the code generator compiles inline, by name and
+   arity.  Everything else goes through the runtime as a native call
+   whose result arrives as a tagged POINTER in A.  Representation
+   analysis must make the exact same judgement as the generator —
+   a 3-ary (- a b c) is a native call even with inlining on, and
+   claiming the table's raw SWFLO result rep for it made the pdl-number
+   path reinterpret the tagged result word as float bits (found by the
+   differential fuzzer) — so the table lives here, next to the prim
+   table, and both sides consult it. *)
+let inlinable fname nargs =
+  match fname with
+  | "+$F" | "-$F" | "*$F" | "/$F" | "MAX$F" | "MIN$F" | "ATAN$F" -> nargs = 2 || nargs = 1
+  | "SQRT$F" | "SINC$F" | "COSC$F" | "SIN$F" | "COS$F" | "EXP$F" | "LOG$F" -> nargs = 1
+  | "<$F" | "=$F" | "<&" | "=&" -> nargs = 2
+  | "+&" | "-&" | "*&" -> nargs = 2 || nargs = 1
+  | "+" | "-" | "*" | "/" | "MAX" | "MIN" | "MOD" | "REM" -> nargs = 2 || nargs = 1
+  | "<" | "<=" | ">" | ">=" | "=" -> nargs = 2
+  | "1+" | "1-" | "ZEROP" | "ODDP" | "EVENP" | "SQRT" | "SIN" | "COS" | "EXP" | "LOG" ->
+      nargs = 1
+  | "FLOOR" | "CEILING" | "TRUNCATE" | "ROUND" -> nargs = 1
+  | "CAR" | "CDR" | "NOT" | "NULL" -> nargs = 1
+  | "CONS" | "EQ" | "EQL" | "EQUAL" | "THROW" | "ATAN" -> nargs = 2
+  | "FUNCALL" -> nargs >= 1
+  | _ -> false
+
 (* "Immutable mathematical functions" (§7): calls to these may be moved
    past unknown calls because no user code can redefine or observe them
    mid-flight in this dialect. *)

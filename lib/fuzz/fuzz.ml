@@ -1,0 +1,137 @@
+(** Fuzz-run driver: generate N seeded programs, oracle each across the
+    optimization lattice, shrink any divergence, and report.
+
+    Seed derivation: program [i] of a run with master seed [S] is
+    generated from seed [S + i], so any finding is reproducible in one
+    command — [s1lc --fuzz 1 --seed (S + i)] regenerates exactly the
+    failing program and re-checks the whole lattice.
+
+    Counters ([fuzz.programs], [fuzz.divergences], [fuzz.shrink_steps],
+    [fuzz.interp_errors]) go through {!Obs}, so [--metrics] and
+    [--timings] cover fuzz runs like any other workload.  The report
+    itself (schema [s1lisp.fuzz/1]) contains no wall-clock fields: same
+    seed and same lattice imply a byte-identical report. *)
+
+module Sexp = S1_sexp.Sexp
+module Obs = S1_obs.Obs
+module Json = S1_obs.Obs.Json
+
+type finding = {
+  f_index : int;  (** which program of the run *)
+  f_seed : int;  (** the derived seed: [--fuzz 1 --seed f_seed] reproduces *)
+  f_config : string;  (** lattice point that diverged *)
+  f_flags : string;  (** s1lc flags for that point *)
+  f_kind : string;  (** mismatch | compiled-error | compiled-crash *)
+  f_interp : string;
+  f_compiled : string;
+  f_program : string;  (** full generated program *)
+  f_shrunk : string;  (** delta-debugged local minimum *)
+  f_shrink_steps : int;
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_configs : string list;
+  r_findings : finding list;
+}
+
+let schema = "s1lisp.fuzz/1"
+
+let run ?(configs = Oracle.lattice) ?(compile_prep = fun forms -> forms) ~seed ~count ()
+    : report =
+  let findings = ref [] in
+  for i = 0 to count - 1 do
+    let pseed = seed + i in
+    let prog = Genprog.generate ~seed:pseed in
+    Obs.incr "fuzz.programs";
+    let divergences = Oracle.check ~configs ~compile_prep prog.Genprog.pr_forms in
+    List.iter
+      (fun (d : Oracle.divergence) ->
+        Obs.incr "fuzz.divergences";
+        let cfg =
+          match Oracle.find_config d.Oracle.d_config with
+          | Some c -> c
+          | None -> List.find (fun c -> c.Oracle.cfg_name = d.Oracle.d_config) configs
+        in
+        (* the shrink predicate re-checks only the diverging lattice
+           point: the reduced program must still split interpreter and
+           compiled outcomes there *)
+        let still_fails forms =
+          Oracle.check ~configs:[ cfg ] ~compile_prep forms <> []
+        in
+        let shrunk, steps = Shrink.shrink ~still_fails prog.Genprog.pr_forms in
+        (* report the outcomes of the *shrunk* program at that point *)
+        let interp = Oracle.run_interp shrunk in
+        let compiled = Oracle.run_compiled cfg (compile_prep shrunk) in
+        findings :=
+          {
+            f_index = i;
+            f_seed = pseed;
+            f_config = d.Oracle.d_config;
+            f_flags = cfg.Oracle.cfg_flags;
+            f_kind = Oracle.kind_of d;
+            f_interp = Oracle.outcome_string interp;
+            f_compiled = Oracle.outcome_string compiled;
+            f_program = Genprog.render prog;
+            f_shrunk = String.concat "\n" (List.map Sexp.to_string shrunk);
+            f_shrink_steps = steps;
+          }
+          :: !findings)
+      divergences
+  done;
+  {
+    r_seed = seed;
+    r_count = count;
+    r_configs = List.map (fun c -> c.Oracle.cfg_name) configs;
+    r_findings = List.rev !findings;
+  }
+
+(* Report rendering ----------------------------------------------------------- *)
+
+let finding_json (f : finding) : Json.t =
+  Json.Obj
+    [
+      ("index", Json.Int f.f_index);
+      ("seed", Json.Int f.f_seed);
+      ("config", Json.Str f.f_config);
+      ("flags", Json.Str f.f_flags);
+      ("kind", Json.Str f.f_kind);
+      ("interp", Json.Str f.f_interp);
+      ("compiled", Json.Str f.f_compiled);
+      ("program", Json.Str f.f_program);
+      ("shrunk", Json.Str f.f_shrunk);
+      ("shrink_steps", Json.Int f.f_shrink_steps);
+      ("repro", Json.Str (Printf.sprintf "s1lc --fuzz 1 --seed %d" f.f_seed));
+    ]
+
+let json (r : report) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("seed", Json.Int r.r_seed);
+      ("programs", Json.Int r.r_count);
+      ("configs", Json.Arr (List.map (fun c -> Json.Str c) r.r_configs));
+      ("divergences", Json.Int (List.length r.r_findings));
+      ("findings", Json.Arr (List.map finding_json r.r_findings));
+    ]
+
+let summary (r : report) : string =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "fuzz: %d programs, seed %d, %d lattice points: %d divergence%s\n"
+    r.r_count r.r_seed (List.length r.r_configs)
+    (List.length r.r_findings)
+    (if List.length r.r_findings = 1 then "" else "s");
+  List.iter
+    (fun f ->
+      Printf.bprintf b
+        "\n--- divergence: program %d, config %s (%s)\n\
+         interpreter: %s\n\
+         compiled:    %s\n\
+         shrunk program (%d shrink steps):\n%s\n\
+         reproduce: s1lc --fuzz 1 --seed %d%s\n"
+        f.f_index f.f_config f.f_kind f.f_interp f.f_compiled f.f_shrink_steps f.f_shrunk
+        f.f_seed
+        (if f.f_flags = "" then "" else "   (by hand: s1lc " ^ f.f_flags ^ " ...)"))
+    r.r_findings;
+  Buffer.contents b

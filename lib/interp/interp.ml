@@ -27,6 +27,11 @@ open S1_ir
 exception Go_exc of string
 exception Return_exc of int
 
+exception Fuel_exhausted
+(** Raised when an evaluation step budget (set via the [fuel] field, for
+    fuzzing) runs out.  Distinct from {!Rt.Lisp_error}: exhaustion means
+    "no verdict", not "the program is erroneous". *)
+
 exception Tail_call of int * int list
 (** Internal: a call in tail position targeting an interpreted closure;
     {!apply_closure} consumes it and loops, giving the interpreter the
@@ -43,6 +48,10 @@ type t = {
   mutable closures : closure_entry array;
   mutable n_closures : int;
   trampoline : int;  (** code object word for the interpreter stub *)
+  mutable fuel : int;
+      (** remaining evaluation steps; negative means unlimited.  The
+          differential fuzzer sets this so that a non-terminating shrink
+          candidate becomes {!Fuel_exhausted} instead of a hang. *)
 }
 
 let svc_interp = Isa.register_svc "*:SQ-INTERP-TRAMPOLINE"
@@ -64,7 +73,10 @@ let create rt =
         Obj.code ~where:`Static rt.Rt.obj ~entry:image.S1_machine.Asm.org ~name ~min_args:0
           ~max_args:(-1)
       in
-      let it = { rt; consts = Hashtbl.create 64; closures = [||]; n_closures = 0; trampoline } in
+      let it =
+        { rt; consts = Hashtbl.create 64; closures = [||]; n_closures = 0; trampoline;
+          fuel = -1 }
+      in
       instances := (rt, it) :: !instances;
       (* Root the constant cache, all captured environments, catch tags,
          and the runtime's protected list. *)
@@ -101,6 +113,8 @@ let add_closure it entry =
 let special_symbol it (v : Node.var) = Rt.intern it.rt v.Node.v_name
 
 let rec eval ?(tail = false) it (env : env) (n : Node.node) : int =
+  if it.fuel >= 0 then
+    if it.fuel = 0 then raise Fuel_exhausted else it.fuel <- it.fuel - 1;
   let rt = it.rt in
   ignore tail;
   match n.Node.kind with
@@ -309,6 +323,13 @@ let for_runtime rt =
 
 let boot ?config () = for_runtime (Builtins.boot ?config ())
 
+let release it =
+  (* Forget a world booted for a one-shot evaluation (the differential
+     fuzzer boots thousands): the instance table would otherwise retain
+     every runtime — simulated memory included — for the process
+     lifetime. *)
+  instances := List.filter (fun (r, _) -> r != it.rt) !instances
+
 let eval_node it node =
   try eval it [] node with
   | S1_runtime.Numerics.Not_a_number what -> raise (Rt.Lisp_error ("not a number: " ^ what))
@@ -321,18 +342,36 @@ let define_function it name lam_node =
   Rt.set_function it.rt sym fobj;
   sym
 
+(* The conversion must agree with the compiler on which variables are
+   special (so a LET of a DEFVAR'd name dynamically rebinds here too):
+   consult the same runtime symbol flags the compiler's predicate reads. *)
+let specials_pred it name =
+  match Rt.find_symbol it.rt name with
+  | Some sym when sym <> it.rt.Rt.nil && sym <> it.rt.Rt.t_ ->
+      Obj.symbol_is_special it.rt.Rt.obj sym
+  | _ -> false
+
 let eval_sexp it sexp =
   match sexp with
   | Sexp.List (Sexp.Sym "DEFUN" :: Sexp.Sym name :: _) ->
-      let _, lam_node = S1_frontend.Convert.defun sexp in
+      let _, lam_node = S1_frontend.Convert.defun ~specials:(specials_pred it) sexp in
       define_function it name lam_node
   | Sexp.List [ Sexp.Sym "DEFVAR"; Sexp.Sym name; init ] ->
       let sym = Rt.intern it.rt name in
       Rt.proclaim_special it.rt sym;
-      let v = eval it [] (S1_frontend.Convert.expression init) in
+      let v = eval it [] (S1_frontend.Convert.expression ~specials:(specials_pred it) init) in
       Rt.set_symbol_value_dynamic it.rt sym v;
       sym
-  | _ -> eval it [] (S1_frontend.Convert.expression sexp)
+  | Sexp.List
+      [ Sexp.Sym "PROCLAIM";
+        Sexp.List [ Sexp.Sym "QUOTE"; Sexp.List (Sexp.Sym "SPECIAL" :: names) ] ] ->
+      List.iter
+        (function
+          | Sexp.Sym n -> Rt.proclaim_special it.rt (Rt.intern it.rt n)
+          | _ -> ())
+        names;
+      it.rt.Rt.nil
+  | _ -> eval_node it (S1_frontend.Convert.expression ~specials:(specials_pred it) sexp)
 
 let eval_string it src =
   let forms = S1_sexp.Reader.parse_string src in

@@ -14,7 +14,11 @@ let encode fmt_ f =
   let sign = if Float.sign_bit f then 1 else 0 in
   let put ~e ~frac = (sign lsl (fmt_.ebits + fmt_.fbits)) lor (e lsl fmt_.fbits) lor frac in
   if Float.is_nan f then put ~e:(emax fmt_) ~frac:1
-  else if Float.is_integer f && f = 0.0 then put ~e:0 ~frac:0
+  else if f = 0.0 then 0
+    (* single zero: -0.0 and +0.0 share the all-zero pattern.  The
+       dialect identifies the two zeros so the §5 associative/commutative
+       canonicalization (which reorders float multiplies) cannot change
+       an observable sign — found by the differential fuzzer. *)
   else
     let af = Float.abs f in
     if af = Float.infinity then put ~e:(emax fmt_) ~frac:0
@@ -30,7 +34,7 @@ let encode fmt_ f =
         let frac = Float.round (af /. scale) in
         let maxfrac = float_of_int ((1 lsl fmt_.fbits) - 1) in
         if frac > maxfrac then put ~e:1 ~frac:0 (* rounded up into normal range *)
-        else if frac <= 0.0 then put ~e:0 ~frac:0
+        else if frac <= 0.0 then 0 (* underflow to the single zero *)
         else put ~e:0 ~frac:(int_of_float frac)
       end
       else
@@ -73,6 +77,8 @@ let single_is_inf w =
   e = emax single && w land ((1 lsl single.fbits) - 1) = 0
 
 let encode_double f =
+  (* the same single-zero rule as the 36-bit formats *)
+  let f = if f = 0.0 then 0.0 else f in
   let b = Int64.bits_of_float f in
   let hi = Int64.to_int (Int64.shift_right_logical b 28) land Word.mask in
   let lo = Int64.to_int (Int64.logand b 0xFFFFFFFL) lsl 8 land Word.mask in

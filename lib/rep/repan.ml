@@ -46,18 +46,34 @@ let convertible ~from_ ~to_ =
   | BIT, (POINTER | SWFLO | SWFIX) -> to_ = POINTER
   | _ -> false
 
-(* The representation a prim's result is delivered in when compiled
-   inline (generic prims deliver POINTER via the runtime). *)
-let prim_isrep fname ~want =
-  match Prims.find fname with
-  | Some { Prims.res_rep = Some BIT; _ } -> if want = JUMP then JUMP else POINTER
-  | Some { Prims.res_rep = Some r; _ } -> r
-  | _ -> POINTER
+(* Whether the code generator will compile prims inline (Gen.options
+   inline_prims, threaded in by {!run}).  When it won't, every prim is a
+   native call through the runtime: arguments go through the calling
+   convention and the result arrives as a tagged POINTER in A, whatever
+   raw rep the prim table declares — claiming SWFLO here made the
+   generator read the tagged word as a raw float (found by the
+   differential fuzzer under --no-inline-prims). *)
+let inline_prims = ref true
 
-let prim_argrep fname =
-  match Prims.find fname with
-  | Some { Prims.arg_rep = Some r; _ } -> Some r
-  | _ -> None
+(* The representation a prim's result is delivered in when compiled
+   inline (generic prims deliver POINTER via the runtime).  Inline-ness
+   depends on arity as well as the global switch — a 3-ary (- a b c) is
+   a native call even with inlining on — so both judgements consult the
+   shared Prims.inlinable table the generator uses. *)
+let prim_isrep fname ~nargs ~want =
+  if not (!inline_prims && Prims.inlinable fname nargs) then POINTER
+  else
+    match Prims.find fname with
+    | Some { Prims.res_rep = Some BIT; _ } -> if want = JUMP then JUMP else POINTER
+    | Some { Prims.res_rep = Some r; _ } -> r
+    | _ -> POINTER
+
+let prim_argrep fname ~nargs =
+  if not (!inline_prims && Prims.inlinable fname nargs) then None
+  else
+    match Prims.find fname with
+    | Some { Prims.arg_rep = Some r; _ } -> Some r
+    | _ -> None
 
 (* Top-down WANTREP --------------------------------------------------------- *)
 
@@ -91,7 +107,7 @@ let rec want (n : node) (w : rep) : unit =
       match f.kind with
       | Term (Sexp.Sym fname) -> (
           f.n_wantrep <- NONE;
-          match prim_argrep fname with
+          match prim_argrep fname ~nargs:(List.length args) with
           | Some r -> List.iter (fun a -> want a r) args
           | None -> List.iter (fun a -> want a POINTER) args)
       | Var v when not v.v_special -> (
@@ -176,7 +192,8 @@ let rec isrep (n : node) : rep =
     | Call (f, args) -> (
         List.iter (fun a -> ignore (isrep a)) args;
         match f.kind with
-        | Term (Sexp.Sym fname) -> prim_isrep fname ~want:n.n_wantrep
+        | Term (Sexp.Sym fname) ->
+            prim_isrep fname ~nargs:(List.length args) ~want:n.n_wantrep
         | _ ->
             ignore (isrep f);
             POINTER)
@@ -271,7 +288,8 @@ let unify_variable_reps (root : node) : bool =
 
 (* Entry point -------------------------------------------------------------------- *)
 
-let run (root : node) : unit =
+let run ?(inline = true) (root : node) : unit =
+  inline_prims := inline;
   S1_obs.Obs.with_span "repan" (fun () ->
       (* reset *)
       iter (fun n -> n.n_wantrep <- POINTER) root;

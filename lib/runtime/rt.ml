@@ -18,6 +18,10 @@ type t = {
   mutable protected : int list;
   out : Buffer.t;
   mutable gensym_counter : int;
+  mutable fuel : int option;
+      (** per-call simulator cycle budget override; [None] uses the
+          CPU's default.  The differential fuzzer caps it so a
+          miscompiled infinite loop surfaces as a finding, not a hang. *)
 }
 
 and catch_frame = {
@@ -165,7 +169,7 @@ let call rt fobj args =
     ~finally:(fun () ->
       cpu.Cpu.pc <- saved_pc;
       cpu.Cpu.halted <- saved_halted)
-    (fun () -> Cpu.call_function cpu ~fobj ~args)
+    (fun () -> Cpu.call_function ?fuel:rt.fuel cpu ~fobj ~args)
 
 (* Frame argument access for native handlers. *)
 let frame_args rt =
@@ -484,6 +488,7 @@ let create ?config () =
       protected = [];
       out = Buffer.create 256;
       gensym_counter = 0;
+      fuel = None;
     }
   in
   Hashtbl.replace rt.obarray "NIL" rt.nil;

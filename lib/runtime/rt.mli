@@ -19,6 +19,10 @@ type t = {
   mutable protected : int list;  (** extra GC roots held by OCaml-side code *)
   out : Buffer.t;  (** sink for PRINT and friends *)
   mutable gensym_counter : int;
+  mutable fuel : int option;
+      (** per-call simulator cycle budget override ([None] = CPU
+          default); capped by the differential fuzzer so miscompiled
+          non-termination surfaces as a finding *)
 }
 
 and catch_frame = {

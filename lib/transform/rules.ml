@@ -367,7 +367,16 @@ let rule_assoc ctx (n : node) =
     match n.kind with
     | Call (({ kind = Term (Sexp.Sym fname); _ } as f), args) -> (
         match Prims.find fname with
-        | Some p when p.Prims.associative && List.length args >= 3 ->
+        | Some p
+          when p.Prims.associative && List.length args >= 3
+               && (let rec pairs = function
+                     | [] -> true
+                     | x :: rest ->
+                         List.for_all (Effects.commutable x) rest && pairs rest
+                   in
+                   (* the rewrite reverses evaluation order, so every
+                      pair of operands must be exchangeable *)
+                   pairs args) ->
             (* (+$f a b c) => (+$f (+$f c b) a), matching the paper's
                §7 transcript exactly: fold from the right, reversed. *)
             (match List.rev args with

@@ -1,0 +1,9 @@
+; Shrunk from fuzz seed 73: META-EVALUATE-ASSOC-COMMUT-CALL rewrites an
+; n-ary associative call by folding from the right, which reverses
+; evaluation order.  That moved (CAR (CONS P2 NIL)) — a pure read of
+; P2 — ahead of (SETQ P2 -999), so the compiled product used the stale
+; parameter value: 1+ of -999*999*4 instead of 1+ of -999*999*-999.
+; The rule now requires every operand pair to be exchangeable
+; (Effects.commutable): a write only commutes with read-free operands.
+(DEFUN F1 (P2 P3) 0 (* (SETQ P2 -999) 999 (CAR (CONS P2 ()))))
+(1+ (F1 4 68))

@@ -1,0 +1,5 @@
+; Shrunk from fuzz seed 8: a CATCH whose value flows into a variable
+; declared FIXNUM was delivered as the raw tagged word (gen_catch moved
+; A to the destination without the POINTER -> SWFIX coercion), so the
+; compiled program printed 9<<31 | payload instead of the fixnum.
+(+ (LET ((X7 (CATCH 0 -50))) (DECLARE (FIXNUM X7)) X7) 0 0)

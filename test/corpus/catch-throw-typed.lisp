@@ -1,0 +1,7 @@
+; CATCH value through a FIXNUM-declared binding, both on the normal
+; path and on an actual THROW, consumed by typed arithmetic.
+(DEFUN F (P) (DECLARE (FIXNUM P))
+  (LET ((X (CATCH 'K (IF (< P 0) (THROW 'K (- P)) (* P 3)))))
+    (DECLARE (FIXNUM X))
+    (+ X 1)))
+(+ (F 5) (F -7))

@@ -1,0 +1,6 @@
+; A LET-bound closure capturing a mutable outer variable: environment
+; cells must be shared between the closure and the frame that SETQs.
+(LET ((X 5))
+  (LET ((F (LAMBDA (D) (+ X D))))
+    (SETQ X 50)
+    (FUNCALL F 3)))

@@ -1,0 +1,16 @@
+; Fuzzer find (seed 292, shrunk): not a miscompilation, but the case
+; that forced the oracle's float-agreement rule.  Meta-evaluation
+; canonicalizes associative float arithmetic -- (*$F A B C) becomes
+; (*$F (*$F C B) A), the paper's section-7 transcript -- so the
+; compiled product below folds in a different order than the
+; interpreter's left-to-right reduction and lands one last-place
+; rounding away: -41769299.5 compiled vs -41769299.0 interpreted, in
+; every lattice point except no-opt.  A 36-bit single keeps 27
+; significand bits; each rounding contributes at most 2^-27 relative
+; error, so the oracle accepts finite nonzero same-sign floats within
+; 2^-18 relative difference.  Replaying this file asserts that rule
+; keeps the reassociation license open without loosening anything
+; else (zeros and integers still compare exactly).
+(+ 30.5 (LET ((X4 -30.25)) 0 (LET ((X5 X4)) 0 X5))
+ (* (* -39.5 18.25 5.5) (* -40.0 12.25)
+  (IF (OR T T T) (CATCH 'K7 -21.5) (* 17.75 10.5 37.75))))

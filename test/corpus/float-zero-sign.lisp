@@ -1,0 +1,5 @@
+; Shrunk from a seed-42 fuzz batch: the associative/commutative
+; canonicalization reorders float multiplies, so 0.0 * -51 produced
+; -0.0 under optimization while the interpreter printed 0.0.  Fixed by
+; giving the 36-bit float format a single zero at encode time.
+(* -51 0 (FLOAT 21.0))

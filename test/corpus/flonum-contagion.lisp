@@ -1,0 +1,5 @@
+; Mixed fixnum/flonum arithmetic under declarations: representation
+; analysis must coerce at every boundary, including MIN/MAX and FLOAT.
+(DEFUN G (A B) (DECLARE (FLONUM A) (FIXNUM B))
+  (MIN (+ A B) (- A (FLOAT B)) (* A 0.25)))
+(LET ((R (G 3.5 -2))) (DECLARE (FLONUM R)) (+ R 100.0))

@@ -1,0 +1,7 @@
+; Shrunk from fuzz seed 72: FUNCALL is on the inline-prim list (it
+; never goes through a function cell) so the TN-packing call scan did
+; not count it as a real call, and the DOTIMES counter I8 was packed
+; into a register that the callee clobbers.  The loop exited after one
+; iteration: compiled gave 2 where the interpreter gives 8.
+; is_real_call now treats FUNCALL as the %CALL it compiles to.
+(LET ((X7 1)) (DOTIMES (I8 3) (SETQ X7 (+ X7 (LET ((G12 (LAMBDA (G11) X7))) (FUNCALL G12 90))))) X7)

@@ -1,0 +1,6 @@
+; IF-of-IF and AND/OR combinations: the short-circuit distribution
+; rules (paper section 5) must preserve both value and effect order.
+(LET ((X 3) (Y 0))
+  (IF (IF (< X 2) (> Y -1) (AND (= Y 0) (OR (> X 2) (ZEROP X))))
+      (PROGN (SETQ Y (+ Y 7)) (+ X Y))
+      (- X Y)))

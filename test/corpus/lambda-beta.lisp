@@ -1,0 +1,6 @@
+; Direct lambda application with typed parameters: raw material for the
+; three beta-conversion rules; the declared FLONUM parameter forces a
+; representation decision on each substituted occurrence.
+((LAMBDA (A B) (DECLARE (FLONUM A) (FIXNUM B))
+   (+ (* A 2.0) (IF (EVENP B) B (- B))))
+ 1.25 7)

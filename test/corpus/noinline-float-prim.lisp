@@ -1,0 +1,7 @@
+; Shrunk from fuzz seed 12: with --no-inline-prims, a type-specialized
+; float prim (MAX$F here) compiles to a native runtime call delivering
+; a tagged POINTER, but representation analysis still claimed the
+; inline raw SWFLO result, so the tagged word was read as a raw float.
+; Repan now treats every prim result/argument as POINTER when prims are
+; not inlined.
+(LET ((X8 (LET ((X9 9.0) (X10 (MAX 26.5 -26.25))) 0 X10))) 0 (+ X8 -48))

@@ -1,0 +1,9 @@
+; Non-tail recursion combined after the call, with a DOTIMES in the
+; base case: PROG/GO machinery inside a recursive frame.
+(DEFUN STEPS (N) (DECLARE (FIXNUM N))
+  (IF (<= N 0)
+      (LET ((A 0))
+        (DOTIMES (I 4) (SETQ A (+ A I)))
+        A)
+      (MAX (STEPS (- N 1)) (* N N))))
+(STEPS 6)

@@ -1,0 +1,7 @@
+; Deep-bound special rebinding across a function call: the callee must
+; see the dynamic binding, and SETQ under the rebinding must not leak
+; past its extent.
+(DEFVAR *S0* 10)
+(DEFUN GET-S () *S0*)
+(DEFUN BUMP () (SETQ *S0* (+ *S0* 100)) (GET-S))
+(+ (LET ((*S0* 1)) (BUMP)) *S0*)

@@ -1,0 +1,5 @@
+; Bounded tail recursion over an explicit counter with a declared
+; accumulator: exercises tail-call compilation and typed SETQ-free loops.
+(DEFUN LOOP-ADD (N ACC) (DECLARE (FIXNUM N ACC))
+  (IF (<= N 0) ACC (LOOP-ADD (- N 1) (+ ACC N))))
+(LOOP-ADD 100 0)

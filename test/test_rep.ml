@@ -77,8 +77,12 @@ let test_isrep_if_mixing () =
 
 let test_variable_unification () =
   (* a let-bound float intermediate gets a raw representation when all
-     references agree *)
-  let n = prepare "(defun f (a) (declare (single-float a)) (let ((t1 (*$f a a))) (+$f t1 t1 1.0)))" in
+     references agree.  Binary $F calls: meta-evaluation canonicalizes
+     n-ary associative calls to binary nests before repan runs, and a
+     3-ary $F call that does reach codegen is a native call delivering
+     POINTER — prepare bypasses the transform, so feed repan what it
+     would actually see. *)
+  let n = prepare "(defun f (a) (declare (single-float a)) (let ((t1 (*$f a a))) (+$f (+$f t1 t1) 1.0)))" in
   let vars = ref [] in
   Node.iter
     (fun nd ->
