@@ -22,6 +22,11 @@
                                            programs, interpreter vs compiled
                                            across the optimization lattice
      s1lc --fuzz N --fuzz-report out.json  ... with a structured report
+     s1lc --chaos 200 --seed 42            chaos fault injection: seeded pass
+                                           faults and resource starvation,
+                                           asserting rollback + oracle agreement
+     s1lc --strict file.lisp               robustness incidents (rollbacks,
+                                           verifier failures) become hard errors
      s1lc --no-tnbind --no-pdl ...         flip individual optimizations
                                            (reproduce a fuzz-reported config) *)
 
@@ -91,8 +96,8 @@ let metrics_json ~(cpu : Cpu.t) () : Json.t =
   | other -> other
 
 let run phases listing transcript tns interpret repl stats timings profile metrics trace
-    annotate (rules, options) cse fuzz seed fuzz_report evals files =
-  let c = C.create ~options ~rules ~cse () in
+    annotate (rules, options) cse strict fuzz chaos seed fuzz_report evals files =
+  let c = C.create ~options ~rules ~cse ~strict () in
   (* measure only the user's forms: boot noise (builtin stubs, prelude)
      stays out of the counters and the profile *)
   Obs.reset ();
@@ -106,7 +111,8 @@ let run phases listing transcript tns interpret repl stats timings profile metri
     [ "rule.COMMON-SUBEXPRESSION-ELIMINATION"; "cse.eliminated"; "pdl.candidates";
       "pdl.stack_boxes"; "pdl.heap_boxes"; "tn.total"; "tn.in_registers"; "tn.pointer_slots";
       "tn.scratch_slots"; "tn.across_call"; "fuzz.programs"; "fuzz.divergences";
-      "fuzz.shrink_steps"; "fuzz.interp_errors" ];
+      "fuzz.shrink_steps"; "fuzz.interp_errors"; "robust.pass_rollback";
+      "robust.verify_fail"; "chaos.programs"; "chaos.faults"; "chaos.failures" ];
   Cpu.reset_stats c.C.rt.Rt.cpu;
   (* --annotate needs per-PC cycle counts and the loaded programs *)
   if profile || annotate then Cpu.enable_profile c.C.rt.Rt.cpu;
@@ -136,6 +142,16 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       in
       Printf.printf "%s\n" (C.print_value c w)
   in
+  (* batch-mode failure: every typed condition lands here with its best
+     source position — s1lc exits non-zero with file:line:col, never with
+     an OCaml backtrace *)
+  let fail_at ?(code = 1) ~file loc msg =
+    let where =
+      match loc with Some l -> S1_loc.Loc.to_string l | None -> file
+    in
+    Printf.eprintf "s1lc: %s: %s\n" where msg;
+    exit code
+  in
   let process_string ~file src =
     Hashtbl.replace sources file (Array.of_list (String.split_on_char '\n' src));
     match Reader.parse_string_located ~file src with
@@ -144,7 +160,21 @@ let run phases listing transcript tns interpret repl stats timings profile metri
         c.C.locs <- Some tab;
         Fun.protect
           ~finally:(fun () -> c.C.locs <- saved)
-          (fun () -> List.iter process_form forms)
+          (fun () ->
+            try List.iter process_form forms with
+            | S1_frontend.Convert.Convert_error { message; loc } ->
+                fail_at ~file loc message
+            | S1_frontend.Macroexp.Expansion_error { message; loc } ->
+                fail_at ~file loc message
+            | Rt.Lisp_error m -> fail_at ~file None m
+            | S1_codegen.Gen.Codegen_error m -> fail_at ~file None ("codegen: " ^ m)
+            | Cpu.Trap { kind; pc; message; loc } ->
+                fail_at ~file loc
+                  (Printf.sprintf "%s trap (pc %d): %s" (Cpu.trap_kind_name kind) pc
+                     message)
+            | C.Strict_failure i ->
+                (* incident_to_string already embeds the location *)
+                fail_at ~code:2 ~file None (C.incident_to_string i))
     | exception Reader.Parse_error e ->
         Printf.eprintf "s1lc: %s:%d:%d: %s\n" file e.Reader.line e.Reader.col
           e.Reader.message;
@@ -176,6 +206,17 @@ let run phases listing transcript tns interpret repl stats timings profile metri
             close_out oc);
         report.S1_fuzz.Fuzz.r_findings <> []
   in
+  (* chaos fault injection: every injected pass fault must roll back
+     exactly once and still agree with the interpreter; resource faults
+     must trap, not crash *)
+  let chaos_failed =
+    match chaos with
+    | None -> false
+    | Some count ->
+        let report = S1_fuzz.Chaos.run ~seed ~count () in
+        print_string (S1_fuzz.Chaos.summary report);
+        report.S1_fuzz.Chaos.c_failures <> []
+  in
   let out = Rt.output c.C.rt in
   if out <> "" then print_string out;
   if repl then begin
@@ -192,8 +233,14 @@ let run phases listing transcript tns interpret repl stats timings profile metri
            | Reader.Parse_error e ->
                Format.printf ";; <repl>:%d:%d: %s@." e.Reader.line e.Reader.col
                  e.Reader.message
-           | S1_frontend.Macroexp.Expansion_error m | S1_frontend.Convert.Convert_error m ->
-               Printf.printf ";; error: %s\n" m);
+           | S1_frontend.Macroexp.Expansion_error { message; _ }
+           | S1_frontend.Convert.Convert_error { message; _ } ->
+               Printf.printf ";; error: %s\n" message
+           | S1_codegen.Gen.Codegen_error m ->
+               Printf.printf ";; error: codegen: %s\n" m
+           | S1_machine.Cpu.Trap _ as e ->
+               Printf.printf ";; error: %s\n"
+                 (Option.value ~default:"trap" (S1_machine.Cpu.trap_message e)));
            let out = Rt.output c.C.rt in
            if out <> "" then print_string out;
            Rt.clear_output c.C.rt
@@ -231,7 +278,7 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       output_string oc (Json.to_string doc);
       output_char oc '\n';
       close_out oc);
-  if fuzz_failed then exit 1
+  if fuzz_failed || chaos_failed then exit 1
 
 open Cmdliner
 
@@ -356,6 +403,24 @@ let config_term =
     $ no_identities $ no_deadcode $ no_sinc $ no_integrate $ no_specialize $ no_tnbind
     $ no_pdl $ no_cache_specials $ no_inline_prims)
 
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Treat robustness incidents (pass rollbacks, verifier failures, codegen \
+              fallbacks) as hard errors instead of degrading gracefully; batch mode \
+              exits with status 2 on one.")
+
+let chaos =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"N"
+        ~doc:"Chaos fault injection: run $(docv) seeded programs, injecting one fault \
+              each (a pass exception, IR corruption, a starved heap, or starved fuel) \
+              and assert the rollback/trap contract plus interpreter agreement.  Uses \
+              $(b,--seed); exits non-zero on any contract violation.")
+
 let fuzz =
   Arg.(
     value
@@ -369,8 +434,9 @@ let seed =
   Arg.(
     value & opt int 42
     & info [ "seed" ] ~docv:"S"
-        ~doc:"Master seed for $(b,--fuzz); program $(i,i) of a run uses seed S+i, so \
-              $(b,--fuzz 1 --seed S+i) reproduces it exactly.")
+        ~doc:"Master seed for $(b,--fuzz) and $(b,--chaos); program $(i,i) of a run \
+              uses seed S+i, so $(b,--fuzz 1 --seed S+i) (or $(b,--chaos 1)) \
+              reproduces it exactly.")
 
 let fuzz_report =
   Arg.(
@@ -391,7 +457,7 @@ let cmd =
     (Cmd.info "s1lc" ~doc)
     Term.(
       const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ timings
-      $ profile $ metrics $ trace $ annotate $ config_term $ cse $ fuzz $ seed
-      $ fuzz_report $ evals $ files)
+      $ profile $ metrics $ trace $ annotate $ config_term $ cse $ strict $ fuzz $ chaos
+      $ seed $ fuzz_report $ evals $ files)
 
 let () = exit (Cmd.eval cmd)

@@ -33,6 +33,17 @@ exception Codegen_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
 
+(* Robustness hooks (wired by the driver; see lib/core/compiler.ml).
+   [on_fallback] fires when an in-generator pass (TN packing, peephole)
+   fails and code generation proceeds on the degraded strategy — the
+   driver logs an incident, and raises in strict mode.  [pass_hook] is
+   the chaos fault-injection point for those same passes, called inside
+   each guard so injected exceptions exercise the real fallback path. *)
+let on_fallback : (pass:string -> reason:string -> unit) ref =
+  ref (fun ~pass:_ ~reason:_ -> ())
+
+let pass_hook : (string -> unit) ref = ref (fun _ -> ())
+
 (* The compile-time view of the live Lisp world. *)
 type world = {
   nil_word : int;
@@ -1536,7 +1547,20 @@ let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter
   let fn_unwinds = annotate ctx l l.l_body in
   (* defaults can reference earlier parameters, so their code is part of
      the body for TN purposes; conservatively extend with defaults *)
-  let packing = Obs.with_span "tnbind" (fun () -> Tn.pack ~naive:(not opt.use_tnbind) ctx.pool) in
+  let packing =
+    Obs.with_span "tnbind" (fun () ->
+        let naive = not opt.use_tnbind in
+        try
+          let p = Tn.pack ~naive ctx.pool in
+          !pass_hook "tnbind";
+          p
+        with e when not naive ->
+          (* greedy packing failed: fall back to frame slots for every TN
+             still unassigned (pack skips TNs that already have storage,
+             so a partial greedy result stays valid) *)
+          !on_fallback ~pass:"tnbind" ~reason:(Printexc.to_string e);
+          Tn.pack ~naive:true ctx.pool)
+  in
   Buffer.add_string tn_report_buf (Printf.sprintf ";;; TN packing for %s:\n" name);
   List.iter
     (fun tn ->
@@ -1744,7 +1768,18 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
       let has_rest = List.exists (fun p -> p.p_kind = Rest) l.l_params in
       let nmax = if has_rest then -1 else List.length l.l_params in
       let prog = List.concat (List.rev !chunks) in
-      let prog = if options.peephole then fst (Peephole.run prog) else prog in
+      let prog =
+        if options.peephole then
+          try
+            let p = fst (Peephole.run prog) in
+            !pass_hook "peephole";
+            p
+          with e ->
+            (* the unpeepholed program is always a correct fallback *)
+            !on_fallback ~pass:"peephole" ~reason:(Printexc.to_string e);
+            prog
+        else prog
+      in
       Obs.incr "gen.functions";
       Obs.incr
         ~n:

@@ -48,10 +48,33 @@ let phases =
     "Code generation (single pass, forwards order)";
   ]
 
+(** One pass failure the driver survived (or, under [--strict], refused
+    to survive): which pass, why, and where in the source. *)
+type incident = {
+  i_pass : string;
+  i_reason : string;
+  i_loc : S1_loc.Loc.t option;
+}
+
+let incident_to_string i =
+  let where = match i.i_loc with Some l -> " at " ^ S1_loc.Loc.to_string l | None -> "" in
+  Printf.sprintf "pass %s rolled back%s: %s" i.i_pass where i.i_reason
+
+exception Strict_failure of incident
+(** Raised instead of degrading when {!t.strict} is set: CI wants pass
+    failures loud, production worlds want them survived. *)
+
 type t = {
   rt : Rt.t;
   it : S1_interp.Interp.t;  (** interpreter sharing the same world *)
   mutable options : Gen.options;
+  mutable strict : bool;
+      (** escalate pass rollbacks to {!Strict_failure} instead of
+          degrading (the [--strict] CI mode) *)
+  mutable incidents : incident list;  (** session incident log, newest first *)
+  mutable unit_disabled : string list;
+      (** passes rolled back while compiling the current unit (reset per
+          unit); a disabled pass is not retried within the unit *)
   mutable rules : Rules.config;
   mutable cse : bool;
       (** run the optional common-subexpression-elimination phase (the
@@ -75,12 +98,15 @@ type t = {
 }
 
 let create ?config ?(options = Gen.default_options) ?(rules = Rules.default_config)
-    ?(cse = false) () =
+    ?(cse = false) ?(strict = false) () =
   let it = S1_interp.Interp.boot ?config () in
   {
     rt = it.S1_interp.Interp.rt;
     it;
     options;
+    strict;
+    incidents = [];
+    unit_disabled = [];
     rules;
     cse;
     keep_transcript = false;
@@ -125,6 +151,82 @@ let specials_pred (c : t) name =
       Obj.symbol_is_special c.rt.Rt.obj sym
   | _ -> false
 
+(* Pass isolation ------------------------------------------------------------- *)
+
+(* Chaos fault-injection point: called with (pass name, tree) after each
+   guarded pass body runs, {e inside} the guard, so injected exceptions
+   and deliberate corruption exercise the same rollback machinery a real
+   pass bug would.  Lives here rather than in [lib/fuzz] because the
+   fuzz library sits above this one in the dependency order. *)
+let pass_hook : (string -> Node.node -> unit) ref = ref (fun _ _ -> ())
+
+(* Strip every machine-dependent annotation back to the fully boxed
+   baseline: all values tagged POINTERs, no pdl numbers.  This is the
+   degraded compilation strategy after a representation-analysis
+   rollback — the generator's --no-inline-prims path compiles such a
+   tree through native calls only, which the oracle lattice certifies
+   independently. *)
+let pointerize (root : Node.node) : unit =
+  Node.iter
+    (fun n ->
+      n.Node.n_wantrep <- Node.POINTER;
+      n.Node.n_isrep <- Node.POINTER;
+      n.Node.n_pdlokp <- -1;
+      n.Node.n_pdlnump <- false;
+      match n.Node.kind with
+      | Node.Lambda l ->
+          List.iter (fun p -> p.Node.p_var.Node.v_rep <- Node.POINTER) l.Node.l_params
+      | _ -> ())
+    root
+
+let record_incident (c : t) ~pass ~reason ~loc =
+  Obs.incr "robust.pass_rollback";
+  Obs.incr ("robust.rollback." ^ pass);
+  let inc = { i_pass = pass; i_reason = reason; i_loc = loc } in
+  c.incidents <- inc :: c.incidents;
+  c.unit_disabled <- pass :: c.unit_disabled;
+  if c.strict then raise (Strict_failure inc)
+
+(* Run one tree pass under the crash guard: snapshot the tree, run the
+   body (then the chaos hook) under a node-construction budget, re-verify
+   the result, and on any failure — exception, budget exhaustion, or
+   verifier diagnostics — restore the snapshot, re-analyze, log an
+   incident, and carry on with the pass disabled for this unit.  The
+   only exceptions allowed out are host-fatal ones and [Strict_failure]. *)
+let guarded (c : t) ~pass ~stage (root : Node.node) (body : unit -> unit) : unit =
+  if List.mem pass c.unit_disabled then ()
+  else begin
+    let snap = Freshen.snapshot root in
+    let budget = 200_000 + (1_000 * Node.size root) in
+    let rollback ~verify_fail ~reason ~loc =
+      if verify_fail then Obs.incr "robust.verify_fail";
+      Node.restore root snap;
+      S1_analysis.Analyze.refresh root;
+      record_incident c ~pass ~reason ~loc
+    in
+    match
+      Node.with_budget ~pass budget (fun () ->
+          body ();
+          !pass_hook pass root);
+      Verify.run ~stage root
+    with
+    | [] -> ()
+    | d :: _ as ds ->
+        rollback ~verify_fail:true
+          ~reason:
+            (Printf.sprintf "verifier: %s (%d diagnostic%s)" (Verify.diag_to_string d)
+               (List.length ds)
+               (if List.length ds = 1 then "" else "s"))
+          ~loc:d.Verify.d_loc
+    | exception Node.Budget_exhausted { budget; _ } ->
+        rollback ~verify_fail:false
+          ~reason:(Printf.sprintf "node budget exhausted (%d nodes)" budget)
+          ~loc:root.Node.n_loc
+    | exception (Out_of_memory as e) -> raise e
+    | exception e ->
+        rollback ~verify_fail:false ~reason:(Printexc.to_string e) ~loc:root.Node.n_loc
+  end
+
 (* Run the full machine-independent and machine-dependent pipeline on a
    converted lambda node. *)
 let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
@@ -135,13 +237,28 @@ let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
       let was_enabled = Transcript.enabled ts in
       Transcript.set_enabled ts (was_enabled || c.keep_transcript);
       let m = Transcript.mark ts in
-      ignore (Simplify.run ~config:c.rules ~transcript:ts lam_node);
+      c.unit_disabled <- [];
+      guarded c ~pass:"simplify" ~stage:Verify.After_simplify lam_node (fun () ->
+          ignore (Simplify.run ~config:c.rules ~transcript:ts lam_node));
       (* CSE is a separate phase after the source-level optimizer, exactly to
          avoid the introduction/elimination thrashing the paper describes. *)
-      if c.cse then ignore (S1_transform.Cse.run ~transcript:ts lam_node);
-      (* Simplify/CSE leave the tree analyzed (including binding annotation). *)
-      S1_rep.Repan.run ~inline:c.options.Gen.inline_prims lam_node;
-      S1_rep.Pdlnum.run lam_node;
+      if c.cse then
+        guarded c ~pass:"cse" ~stage:Verify.After_cse lam_node (fun () ->
+            ignore (S1_transform.Cse.run ~transcript:ts lam_node));
+      (* Simplify/CSE leave the tree analyzed (including binding
+         annotation); after a rollback the guard re-analyzed the restored
+         tree, so either way the tree is analyzed here. *)
+      guarded c ~pass:"repan" ~stage:Verify.After_repan lam_node (fun () ->
+          S1_rep.Repan.run ~inline:c.options.Gen.inline_prims lam_node);
+      if not (List.mem "repan" c.unit_disabled) then
+        guarded c ~pass:"pdlnum" ~stage:Verify.After_pdlnum lam_node (fun () ->
+            S1_rep.Pdlnum.run lam_node);
+      (* A representation or pdl-number rollback restored a snapshot whose
+         decorations are defaults again: compile fully boxed (load_lambda
+         also turns off inline prims and pdl numbers for this unit, the
+         certified all-POINTER configuration). *)
+      if List.mem "repan" c.unit_disabled || List.mem "pdlnum" c.unit_disabled then
+        pointerize lam_node;
       Transcript.set_enabled ts was_enabled;
       Transcript.since ts m)
 
@@ -154,7 +271,23 @@ let load_lambda (c : t) ~name (lam_node : Node.node) : int =
   Node.propagate_locs lam_node;
   let ts = run_phases c lam_node in
   if c.keep_transcript then c.last_transcript <- Some ts;
-  let compiled = Gen.compile_function (world_of c) ~options:c.options ~name lam_node in
+  (* after a representation-level rollback the tree is fully boxed; the
+     generator must not open-code prims or stack-allocate numbers on it *)
+  let options =
+    if List.mem "repan" c.unit_disabled || List.mem "pdlnum" c.unit_disabled then
+      { c.options with Gen.inline_prims = false; Gen.pdl_numbers = false }
+    else c.options
+  in
+  (* route in-generator fallbacks (TN packing, peephole) into the same
+     incident log as the tree passes *)
+  let saved_fallback = !Gen.on_fallback in
+  Gen.on_fallback :=
+    (fun ~pass ~reason -> record_incident c ~pass ~reason ~loc:lam_node.Node.n_loc);
+  let compiled =
+    Fun.protect
+      ~finally:(fun () -> Gen.on_fallback := saved_fallback)
+      (fun () -> Gen.compile_function (world_of c) ~options ~name lam_node)
+  in
   if c.keep_transcript then begin
     c.last_listing <- Some (Asm.listing compiled.Gen.c_prog);
     c.last_tn_report <- Some compiled.Gen.c_tn_report

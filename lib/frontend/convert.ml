@@ -18,9 +18,16 @@ module Reader = S1_sexp.Reader
 module Loc = S1_loc.Loc
 open S1_ir
 
-exception Convert_error of string
+(* Typed diagnostic: [loc] is the position of the form being converted
+   when the reader supplied one ({!Node.current_origin} tracks it during
+   the walk), so batch mode can report file:line:col instead of a
+   backtrace. *)
+exception Convert_error of { message : string; loc : Loc.t option }
 
-let err fmt = Printf.ksprintf (fun s -> raise (Convert_error s)) fmt
+let err fmt =
+  Printf.ksprintf
+    (fun s -> raise (Convert_error { message = s; loc = Node.origin () }))
+    fmt
 
 type env = {
   lexical : (string * Node.var) list;
@@ -288,6 +295,6 @@ let defun ?specials ?(macros = fun _ -> None) ?locs (s : Sexp.t) : string * Node
               in
               (match lam.Node.kind with
               | Node.Lambda l -> l.Node.l_strategy <- Node.Toplevel
-              | _ -> assert false);
+              | _ -> err "DEFUN %s did not convert to a lambda" name);
               (name, lam)))
   | _ -> err "not a DEFUN: %s" (Sexp.to_string s)

@@ -13,9 +13,15 @@
 
 module Sexp = S1_sexp.Sexp
 
-exception Expansion_error of string
+(* Typed diagnostic; [loc] inherits the position of the form under
+   conversion ({!S1_ir.Node.current_origin}) when expansion is invoked
+   from the converter, [None] for bare expander calls. *)
+exception Expansion_error of { message : string; loc : S1_loc.Loc.t option }
 
-let err fmt = Printf.ksprintf (fun s -> raise (Expansion_error s)) fmt
+let err fmt =
+  Printf.ksprintf
+    (fun s -> raise (Expansion_error { message = s; loc = S1_ir.Node.origin () }))
+    fmt
 
 (* User-defined macros (DEFMACRO): a lookup from macro name to an
    expander over the raw argument forms.  Installed for the extent of an

@@ -82,9 +82,10 @@ let run_interp (forms : Sexp.t list) : outcome =
       | w -> Value (Rt.print_value it.I.rt w)
       | exception Rt.Lisp_error m -> Error m
       | exception Rt.Thrown _ -> Error "uncaught throw"
-      | exception S1_frontend.Convert.Convert_error m -> Error ("convert: " ^ m)
-      | exception S1_frontend.Macroexp.Expansion_error m -> Error ("macro: " ^ m)
+      | exception S1_frontend.Convert.Convert_error { message; _ } -> Error ("convert: " ^ message)
+      | exception S1_frontend.Macroexp.Expansion_error { message; _ } -> Error ("macro: " ^ message)
       | exception I.Fuel_exhausted -> Error "interpreter fuel exhausted"
+      | exception S1_runtime.Heap.Heap_exhausted _ -> Error "heap exhausted"
       | exception Stack_overflow -> Crash "interpreter stack overflow")
 
 let run_compiled (cfg : config) (forms : Sexp.t list) : outcome =
@@ -94,11 +95,13 @@ let run_compiled (cfg : config) (forms : Sexp.t list) : outcome =
   | s -> Value s
   | exception Rt.Lisp_error m -> Error m
   | exception Rt.Thrown _ -> Error "uncaught throw"
-  | exception S1_frontend.Convert.Convert_error m -> Error ("convert: " ^ m)
-  | exception S1_frontend.Macroexp.Expansion_error m -> Error ("macro: " ^ m)
+  | exception S1_frontend.Convert.Convert_error { message; _ } -> Error ("convert: " ^ message)
+  | exception S1_frontend.Macroexp.Expansion_error { message; _ } -> Error ("macro: " ^ message)
   | exception S1_codegen.Gen.Codegen_error m -> Crash ("codegen: " ^ m)
-  | exception S1_machine.Cpu.Exec_error { pc; message } ->
-      Crash (Printf.sprintf "trap at pc %d: %s" pc message)
+  | exception S1_machine.Cpu.Trap { kind; pc; message; _ } ->
+      Crash
+        (Printf.sprintf "%s trap at pc %d: %s"
+           (S1_machine.Cpu.trap_kind_name kind) pc message)
   | exception Stack_overflow -> Crash "compiler stack overflow"
   | exception e -> Crash (Printexc.to_string e)
 

@@ -29,6 +29,12 @@ let fresh_tag env t =
 
 let lookup_tag env t = match List.assoc_opt t env.tags with Some t' -> t' | None -> t
 
+(* In snapshot mode each copied node keeps the original's source
+   position instead of being stamped with the current origin, so a tree
+   restored from a checkpoint reports the same provenance as the one the
+   failed pass destroyed. *)
+let snapshot_mode = ref false
+
 let rec copy_with env n =
   let go = copy_with env in
   let kind =
@@ -76,6 +82,10 @@ let rec copy_with env n =
     | Go t -> Go (lookup_tag env t)
     | Return e -> Return (go e)
   in
-  mk kind
+  if !snapshot_mode then with_origin n.n_loc (fun () -> mk kind) else mk kind
 
 let copy n = copy_with { vars = Hashtbl.create 16; tags = [] } n
+
+let snapshot n =
+  snapshot_mode := true;
+  Fun.protect ~finally:(fun () -> snapshot_mode := false) (fun () -> copy n)

@@ -176,7 +176,29 @@ let with_origin l f =
   current_origin := l;
   Fun.protect ~finally:(fun () -> current_origin := saved) f
 
+(* Node-construction budget: a runaway pass (a rewrite loop that grows
+   the tree instead of reducing it) is stopped by bounding how many nodes
+   it may create, the tree-building analogue of simulator fuel.  The
+   budget is dynamically scoped so only guarded pass bodies pay for the
+   check's bookkeeping semantics; [None] means unlimited. *)
+exception Budget_exhausted of { pass : string; budget : int }
+
+let budget : (string * int * int ref) option ref = ref None
+
+let with_budget ~pass n f =
+  let saved = !budget in
+  budget := Some (pass, n, ref n);
+  Fun.protect ~finally:(fun () -> budget := saved) f
+
+let charge_budget () =
+  match !budget with
+  | None -> ()
+  | Some (pass, total, left) ->
+      decr left;
+      if !left < 0 then raise (Budget_exhausted { pass; budget = total })
+
 let mk kind =
+  charge_budget ();
   incr next_id;
   {
     n_id = !next_id;
@@ -283,6 +305,29 @@ let count_nodes pred root =
   let c = ref 0 in
   iter (fun n -> if pred n then incr c) root;
   !c
+
+(* Checkpoint restore: make [dst] structurally identical to [src] by
+   overwriting every mutable field.  Used by the pass guard to roll a
+   tree back to a {!Freshen.snapshot} taken before a failed pass; the
+   snapshot's subtree is adopted wholesale (its nodes are private to the
+   snapshot, so sharing is safe).  [n_dirty] is forced so the mandatory
+   re-analysis after a rollback sees the whole tree. *)
+let restore (dst : node) (src : node) : unit =
+  dst.kind <- src.kind;
+  dst.n_loc <- src.n_loc;
+  dst.n_free <- src.n_free;
+  dst.n_written <- src.n_written;
+  dst.n_effects <- src.n_effects;
+  dst.n_complexity <- src.n_complexity;
+  dst.n_tail <- src.n_tail;
+  dst.n_dirty <- true;
+  dst.n_wantrep <- src.n_wantrep;
+  dst.n_isrep <- src.n_isrep;
+  dst.n_pdlokp <- src.n_pdlokp;
+  dst.n_pdlnump <- src.n_pdlnump;
+  dst.n_tn <- src.n_tn;
+  dst.n_wanttn <- src.n_wanttn;
+  dst.n_pdltn <- src.n_pdltn
 
 (* Variable bookkeeping ---------------------------------------------------- *)
 

@@ -39,10 +39,49 @@ type t = {
           runtime's hand-written stubs) contribute no segment. *)
 }
 
-exception Exec_error of { pc : int; message : string }
+(* Machine faults are structured traps, not bare strings: a long-lived
+   world embedding the simulator needs to tell resource exhaustion
+   (recoverable: unwind and keep the world) from a wild program counter
+   (the program is junk, the world is still fine) without parsing
+   messages.  [Machine_check] is the residual kind for faults with no
+   better classification. *)
+type trap_kind =
+  | Control_stack_overflow
+  | Control_stack_underflow
+  | Bind_stack_overflow
+  | Heap_exhaustion
+  | Fuel_exhaustion
+  | Illegal_instruction
+  | Bad_address
+  | Wrong_type
+  | Machine_check
 
-let fail cpu fmt_str =
-  Printf.ksprintf (fun s -> raise (Exec_error { pc = cpu.pc; message = s })) fmt_str
+let trap_kind_name = function
+  | Control_stack_overflow -> "control-stack-overflow"
+  | Control_stack_underflow -> "control-stack-underflow"
+  | Bind_stack_overflow -> "bind-stack-overflow"
+  | Heap_exhaustion -> "heap-exhausted"
+  | Fuel_exhaustion -> "fuel-exhausted"
+  | Illegal_instruction -> "illegal-instruction"
+  | Bad_address -> "bad-address"
+  | Wrong_type -> "wrong-type"
+  | Machine_check -> "machine-check"
+
+(* [loc] is the source position of the faulting instruction, resolved
+   through the PC line maps ({!provenance_at}) when the faulting code
+   was loaded with marks. *)
+exception
+  Trap of { kind : trap_kind; pc : int; message : string; loc : S1_loc.Loc.t option }
+
+let trap_message = function
+  | Trap { kind; pc; message; loc } ->
+      let where =
+        match loc with
+        | Some l -> Printf.sprintf "%s (pc %d)" (S1_loc.Loc.to_string l) pc
+        | None -> Printf.sprintf "pc %d" pc
+      in
+      Some (Printf.sprintf "%s trap at %s: %s" (trap_kind_name kind) where message)
+  | _ -> None
 
 let fresh_stats () =
   { cycles = 0; instructions = 0; movs = 0; mem_traffic = 0; calls = 0; tcalls = 0; svcs = 0;
@@ -173,6 +212,17 @@ let provenance_at cpu pc : Asm.mark option =
         done;
         Some marks.(!lo)
       end
+
+let trap cpu kind fmt_str =
+  Printf.ksprintf
+    (fun s ->
+      let loc =
+        match provenance_at cpu cpu.pc with Some m -> m.Asm.m_loc | None -> None
+      in
+      raise (Trap { kind; pc = cpu.pc; message = s; loc }))
+    fmt_str
+
+let fail cpu fmt_str = trap cpu Machine_check fmt_str
 
 let symbol_at cpu pc =
   let rec find = function
@@ -380,30 +430,30 @@ let eff_addr cpu (o : Isa.operand) =
   | Idx { base; disp; index; shift } -> cpu.regs.(base) + disp + (cpu.regs.(index) lsl shift)
   | Defind (r, d, off) -> Word.addr_of (Mem.read cpu.mem (cpu.regs.(r) + d)) + off
   | Defreg (r, off) -> Word.addr_of cpu.regs.(r) + off
-  | Reg _ | Imm _ | Lab _ | Dlab _ -> fail cpu "operand has no effective address"
+  | Reg _ | Imm _ | Lab _ | Dlab _ -> trap cpu Illegal_instruction "operand has no effective address"
 
 let value cpu (o : Isa.operand) =
   cpu.stats.mem_traffic <- cpu.stats.mem_traffic + Isa.operand_cycles o;
   match o with
   | Reg r -> cpu.regs.(r)
   | Imm v -> v land Word.mask
-  | Lab _ | Dlab _ -> fail cpu "unresolved label operand"
+  | Lab _ | Dlab _ -> trap cpu Illegal_instruction "unresolved label operand"
   | _ -> Mem.read cpu.mem (eff_addr cpu o)
 
 let store cpu (o : Isa.operand) v =
   cpu.stats.mem_traffic <- cpu.stats.mem_traffic + Isa.operand_cycles o;
   match o with
   | Reg r -> cpu.regs.(r) <- v land Word.mask
-  | Imm _ | Lab _ | Dlab _ -> fail cpu "store to non-writable operand"
+  | Imm _ | Lab _ | Dlab _ -> trap cpu Illegal_instruction "store to non-writable operand"
   | _ -> Mem.write cpu.mem (eff_addr cpu o) v
 
 (* Double-width (two-word) access: register pairs or adjacent memory. *)
 let value2 cpu (o : Isa.operand) =
   match o with
   | Reg r ->
-      if r + 1 >= Isa.nregs then fail cpu "double-width register pair out of range"
+      if r + 1 >= Isa.nregs then trap cpu Illegal_instruction "double-width register pair out of range"
       else (cpu.regs.(r), cpu.regs.(r + 1))
-  | Imm _ | Lab _ | Dlab _ -> fail cpu "double-width immediate"
+  | Imm _ | Lab _ | Dlab _ -> trap cpu Illegal_instruction "double-width immediate"
   | _ ->
       let a = eff_addr cpu o in
       (Mem.read cpu.mem a, Mem.read cpu.mem (a + 1))
@@ -411,12 +461,12 @@ let value2 cpu (o : Isa.operand) =
 let store2 cpu (o : Isa.operand) (hi, lo) =
   match o with
   | Reg r ->
-      if r + 1 >= Isa.nregs then fail cpu "double-width register pair out of range"
+      if r + 1 >= Isa.nregs then trap cpu Illegal_instruction "double-width register pair out of range"
       else begin
         cpu.regs.(r) <- hi land Word.mask;
         cpu.regs.(r + 1) <- lo land Word.mask
       end
-  | Imm _ | Lab _ | Dlab _ -> fail cpu "store to non-writable operand"
+  | Imm _ | Lab _ | Dlab _ -> trap cpu Illegal_instruction "store to non-writable operand"
   | _ ->
       let a = eff_addr cpu o in
       Mem.write cpu.mem a hi;
@@ -426,7 +476,7 @@ let store2 cpu (o : Isa.operand) (hi, lo) =
 
 let push cpu v =
   let sp = cpu.regs.(Isa.sp) + 1 in
-  if sp >= Mem.stack_limit cpu.mem then fail cpu "stack overflow"
+  if sp >= Mem.stack_limit cpu.mem then trap cpu Control_stack_overflow "control stack overflow"
   else begin
     cpu.regs.(Isa.sp) <- sp;
     Mem.write cpu.mem sp v;
@@ -436,7 +486,7 @@ let push cpu v =
 
 let pop cpu =
   let sp = cpu.regs.(Isa.sp) in
-  if sp <= Mem.stack_base cpu.mem then fail cpu "stack underflow"
+  if sp <= Mem.stack_base cpu.mem then trap cpu Control_stack_underflow "control stack underflow"
   else begin
     cpu.regs.(Isa.sp) <- sp - 1;
     Mem.read cpu.mem sp
@@ -572,7 +622,7 @@ let int_binop cpu (op : Isa.binop) x y =
   | OR -> Word.logor x y
   | XOR -> Word.logxor x y
   | ASH -> Word.shift x sy
-  | FADD | FSUB | FMULT | FDIV | FMAX | FMIN | FATAN -> fail cpu "float op dispatched as int"
+  | FADD | FSUB | FMULT | FDIV | FMAX | FMIN | FATAN -> trap cpu Wrong_type "float op dispatched as int"
 
 let float_binop cpu (op : Isa.binop) x y =
   match op with
@@ -583,7 +633,7 @@ let float_binop cpu (op : Isa.binop) x y =
   | FMAX -> Float.max x y
   | FMIN -> Float.min x y
   | FATAN -> Float.atan2 x y
-  | _ -> fail cpu "int op dispatched as float"
+  | _ -> trap cpu Wrong_type "int op dispatched as float"
 
 let is_float_binop : Isa.binop -> bool = function
   | FADD | FSUB | FMULT | FDIV | FMAX | FMIN | FATAN -> true
@@ -600,12 +650,12 @@ let float_unop cpu (op : Isa.unop) x =
   | FCOS -> Float.cos (two_pi *. x)
   | FEXP -> Float.exp x
   | FLOG -> Float.log x
-  | _ -> fail cpu "non-float unop dispatched as float"
+  | _ -> trap cpu Wrong_type "non-float unop dispatched as float"
 
 (* Execution ------------------------------------------------------------- *)
 
 let step cpu =
-  if cpu.pc < 0 || cpu.pc >= cpu.code_len then fail cpu "pc out of code range";
+  if cpu.pc < 0 || cpu.pc >= cpu.code_len then trap cpu Bad_address "pc out of code range";
   let i = cpu.code.(cpu.pc) in
   if cpu.trace then
     Format.eprintf "@[<h>%6d  %a@]@." cpu.pc Isa.pp_instr i;
@@ -617,7 +667,7 @@ let step cpu =
   s.instructions <- s.instructions + 1;
   s.cycles <- s.cycles + Isa.base_cycles i;
   let next = cpu.pc + 1 in
-  let jump_target = function Isa.Abs n -> n | Isa.L l -> fail cpu "unresolved target %s" l in
+  let jump_target = function Isa.Abs n -> n | Isa.L l -> trap cpu Illegal_instruction "unresolved target %s" l in
   (match i with
   | Mov (d, src) ->
       s.movs <- s.movs + 1;
@@ -779,9 +829,13 @@ let run ?(fuel = 500_000_000) cpu ~at =
   cpu.halted <- false;
   let start = cpu.stats.cycles in
   while (not cpu.halted) && cpu.stats.cycles - start < fuel do
-    step cpu
+    (* Mem raises Failure on out-of-range addresses; a wild pointer in a
+       miscompiled program must surface as a structured trap, not as an
+       untyped host exception. *)
+    try step cpu
+    with Failure m -> trap cpu Bad_address "%s" m
   done;
-  if not cpu.halted then fail cpu "fuel exhausted after %d cycles" fuel
+  if not cpu.halted then trap cpu Fuel_exhaustion "fuel exhausted after %d cycles" fuel
 
 let call_function ?fuel cpu ~fobj ~args =
   List.iter (fun v -> push cpu v) args;

@@ -57,7 +57,37 @@ type t = {
           lookups never cross a segment boundary *)
 }
 
-exception Exec_error of { pc : int; message : string }
+(** {1 Traps}
+
+    Machine faults are structured: a kind (so embedders can distinguish
+    recoverable resource exhaustion from a corrupt program), the faulting
+    pc, and the source position of the faulting instruction when the code
+    was loaded with a PC line map. *)
+
+type trap_kind =
+  | Control_stack_overflow
+  | Control_stack_underflow
+  | Bind_stack_overflow  (** special-binding (deep-binding) stack full *)
+  | Heap_exhaustion  (** allocation failed even after a full GC *)
+  | Fuel_exhaustion
+  | Illegal_instruction  (** unresolved label, malformed operand *)
+  | Bad_address  (** pc or memory access outside the mapped regions *)
+  | Wrong_type  (** value of the wrong representation reached a raw op *)
+  | Machine_check  (** residual machine faults (division by zero, ...) *)
+
+val trap_kind_name : trap_kind -> string
+(** Stable kebab-case name, used in messages and metrics. *)
+
+exception
+  Trap of { kind : trap_kind; pc : int; message : string; loc : S1_loc.Loc.t option }
+
+val trap : t -> trap_kind -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise a {!Trap} at the current pc, resolving [loc] through
+    {!provenance_at}.  Exposed so runtime services can signal
+    machine-level faults (heap, bind stack) uniformly. *)
+
+val trap_message : exn -> string option
+(** One-line rendering of a {!Trap}, [None] for other exceptions. *)
 
 val create : ?mem:Mem.t -> unit -> t
 
@@ -78,11 +108,11 @@ val pop : t -> int
 (** The stack operations CALL uses, exposed for runtime services. *)
 
 val step : t -> unit
-(** Execute one instruction. @raise Exec_error on machine faults. *)
+(** Execute one instruction. @raise Trap on machine faults. *)
 
 val run : ?fuel:int -> t -> at:int -> unit
 (** Start execution at a code address and run to [Halt].
-    @raise Exec_error when fuel (default 500M cycles) is exhausted. *)
+    @raise Trap when fuel (default 500M cycles) is exhausted. *)
 
 val call_function : ?fuel:int -> t -> fobj:int -> args:int list -> int
 (** Host-side entry: push [args], [CALL] the function object, run until

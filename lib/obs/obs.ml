@@ -350,8 +350,11 @@ let pp_counters fmt ?(t = default) () =
 
 (* The stable metrics schema: {"schema": "...", "spans": [...],
    "counters": {...}} — extended (never rearranged) by callers that add
-   sibling keys such as "cpu" and "profile". *)
-let schema_version = "s1lisp.metrics/1"
+   sibling keys such as "cpu" and "profile".  /2 adds the robustness
+   incident counters (robust.pass_rollback, robust.rollback.<pass>,
+   robust.verify_fail) and the chaos counters (chaos.programs,
+   chaos.faults, chaos.failures) to the fixed counter set. *)
+let schema_version = "s1lisp.metrics/2"
 
 let json ?(t = default) () : Json.t =
   Json.Obj

@@ -2,6 +2,11 @@ module Mem = S1_machine.Mem
 module Word = S1_machine.Word
 module Tags = S1_machine.Tags
 
+(* Raised only after a full collection still cannot satisfy the request;
+   the service layer converts it into a {!S1_machine.Cpu} heap trap so a
+   long-lived world survives one greedy program. *)
+exception Heap_exhausted of { requested : int }
+
 type kind =
   | Free
   | Cons
@@ -283,7 +288,7 @@ let alloc h kind nwords =
           | None -> (
               match take_free h nwords with
               | Some hdr -> finish hdr nwords
-              | None -> failwith "heap exhausted")))
+              | None -> raise (Heap_exhausted { requested = nwords }))))
 
 let live_words h =
   let rec free_total = function [] -> 0 | (_, s) :: rest -> s + 1 + free_total rest in

@@ -61,10 +61,16 @@ val set_register_roots : t -> (unit -> int array) -> unit
 val set_stack_tops : t -> (unit -> int * int) -> unit
 (** Returns (SP, SB): current extents of the control and binding stacks. *)
 
+exception Heap_exhausted of { requested : int }
+(** Allocation failed even after a full collection.  The service layer
+    converts this into a {!S1_machine.Cpu.Trap} so the embedding world
+    survives; host-side allocation (constant interning) lets it
+    propagate typed. *)
+
 val alloc : t -> kind -> int -> int
 (** [alloc h kind nwords] returns the payload address of a fresh object
     with zeroed payload, collecting if needed.
-    @raise Failure when the heap is exhausted even after collection. *)
+    @raise Heap_exhausted when the heap is full even after collection. *)
 
 val header_kind : t -> int -> kind
 (** Kind of the object whose payload starts at the given address. *)

@@ -106,7 +106,14 @@ let equal rt a b = equal_depth rt 0 a b
 
 let bind_special rt sym value =
   let sb = Cpu.get_reg rt.cpu Isa.sb in
-  if sb + 2 > Mem.bind_limit rt.mem then err "special-binding stack overflow"
+  if sb + 2 > Mem.bind_limit rt.mem then begin
+    (* Deep binding keeps the rebound value in the stack entry itself, so
+       popping every entry is all it takes to expose the globals again:
+       unwind before trapping and the world stays usable. *)
+    Cpu.set_reg rt.cpu Isa.sb (Mem.bind_base rt.mem);
+    Cpu.trap rt.cpu Cpu.Bind_stack_overflow "special-binding stack overflow binding %s"
+      (Obj.symbol_name rt.obj sym)
+  end
   else begin
     Mem.write rt.mem sb sym;
     Mem.write rt.mem (sb + 1) value;
@@ -115,9 +122,11 @@ let bind_special rt sym value =
 
 let unbind_specials rt n =
   let sb = Cpu.get_reg rt.cpu Isa.sb in
-  let sb' = sb - (2 * n) in
-  if sb' < Mem.bind_base rt.mem then err "special-binding stack underflow"
-  else Cpu.set_reg rt.cpu Isa.sb sb'
+  (* Clamp rather than err: after a bind-stack trap forcibly unwound to
+     the base, in-flight function epilogues still run their paired
+     unbinds, which must now be no-ops. *)
+  let sb' = max (Mem.bind_base rt.mem) (sb - (2 * n)) in
+  Cpu.set_reg rt.cpu Isa.sb sb'
 
 let lookup_special_cell rt sym =
   let base = Mem.bind_base rt.mem in
@@ -165,10 +174,29 @@ let with_protected rt ws f =
 let call rt fobj args =
   let cpu = rt.cpu in
   let saved_pc = cpu.Cpu.pc and saved_halted = cpu.Cpu.halted in
+  (* Snapshot the whole machine context, not just the pc: when the call
+     dies mid-flight (trap, Lisp error, fuel), the stacks hold abandoned
+     frames, catch frames, and special rebindings that would otherwise
+     poison every later call on this world.  On a normal return the
+     calling convention has already restored these, so the writes are
+     no-ops. *)
+  let saved_sp = Cpu.get_reg cpu Isa.sp
+  and saved_fp = Cpu.get_reg cpu Isa.fp
+  and saved_tp = Cpu.get_reg cpu Isa.tp
+  and saved_env = Cpu.get_reg cpu Isa.env
+  and saved_sb = Cpu.get_reg cpu Isa.sb
+  and saved_catches = rt.catches in
   Fun.protect
     ~finally:(fun () ->
       cpu.Cpu.pc <- saved_pc;
-      cpu.Cpu.halted <- saved_halted)
+      cpu.Cpu.halted <- saved_halted;
+      Cpu.set_reg cpu Isa.sp saved_sp;
+      Cpu.set_reg cpu Isa.fp saved_fp;
+      Cpu.set_reg cpu Isa.tp saved_tp;
+      Cpu.set_reg cpu Isa.env saved_env;
+      (* popping the bind stack restores the globals under deep binding *)
+      Cpu.set_reg cpu Isa.sb (min saved_sb (Cpu.get_reg cpu Isa.sb));
+      rt.catches <- saved_catches)
     (fun () -> Cpu.call_function ?fuel:rt.fuel cpu ~fobj ~args)
 
 (* Frame argument access for native handlers. *)
@@ -509,10 +537,15 @@ let create ?config () =
     (fun _cpu id ->
       match Hashtbl.find_opt handlers id with
       | Some f -> (
-          (* surface runtime-level faults as Lisp error conditions *)
+          (* surface runtime-level faults as Lisp error conditions;
+             resource exhaustion becomes a machine trap carrying the pc
+             and source provenance of the faulting instruction *)
           try f rt with
           | Numerics.Not_a_number what -> err "not a number: %s" what
           | Division_by_zero -> err "division by zero"
+          | Heap.Heap_exhausted { requested } ->
+              Cpu.trap cpu Cpu.Heap_exhaustion
+                "heap exhausted (requested %d words after GC)" requested
           | Failure msg -> err "%s" msg)
       | None -> err "unknown service %s" (Isa.svc_name id));
   cpu.Cpu.bad_function_svc <- Svc.wrong_type_of_function;

@@ -1,0 +1,11 @@
+; Chaos harness pin: bounded non-tail recursion rebinding a special at
+; every frame — the exact shape whose unbounded version must trap with
+; bind-stack-overflow and unwind to the globals.  The bounded version
+; must agree everywhere, and the global must be intact at the end.
+(DEFVAR *CD* 0)
+(DEFUN CD-PROBE () *CD*)
+(DEFUN CD-DIVE (N)
+  (DECLARE (FIXNUM N))
+  (IF (ZEROP N) (CD-PROBE)
+      (LET ((*CD* N)) (+ (CD-PROBE) (CD-DIVE (- N 1))))))
+(+ (CD-DIVE 100) *CD*)

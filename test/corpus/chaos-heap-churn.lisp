@@ -1,0 +1,14 @@
+; Chaos harness pin: tail-recursive allocation churn — enough consing
+; to force garbage collections under the default heap, the same loop
+; the tiny-heap fault drives into a heap-exhausted trap.  The live list
+; stays small so the value is identical at every lattice point.
+(DEFUN HC-COUNT (L A)
+  (IF (NULL L) A (HC-COUNT (CDR L) (+ A 1))))
+(DEFUN HC-BUILD (N A)
+  (DECLARE (FIXNUM N))
+  (IF (ZEROP N) A (HC-BUILD (- N 1) (CONS N A))))
+(DEFUN HC-SPIN (K A)
+  (DECLARE (FIXNUM K))
+  (IF (ZEROP K) A
+      (HC-SPIN (- K 1) (+ A (HC-COUNT (HC-BUILD 50 (QUOTE ())) 0)))))
+(HC-SPIN 200 0)

@@ -1,0 +1,10 @@
+; Chaos harness pin: this shape (simplifiable arithmetic under typed
+; declarations, an IF with a constant-foldable predicate, a direct
+; lambda application) is what the pass-fault injections compile with a
+; pass rolled back; its value must be identical at every lattice point,
+; including the fully boxed one a repan/pdlnum rollback degrades to.
+(DEFUN CHURN (X)
+  (DECLARE (FIXNUM X))
+  ((LAMBDA (A B) (+ (* A 1) (IF (< 0 1) B (- 0 B))))
+   (+ X X) (* X 3)))
+(+ (CHURN 4) (CHURN -4))

@@ -533,7 +533,8 @@ let test_cpu_stack_overflow_fault () =
       Asm.[ Label "GO"; Label "LOOP"; Instr (Push (Imm 1)); Instr (Jmpa (L "LOOP")) ]
   in
   match Cpu.run cpu ~at:(Cpu.label_addr image "GO") with
-  | exception Cpu.Exec_error { message; _ } ->
+  | exception Cpu.Trap { kind; message; _ } ->
+      Alcotest.(check bool) "overflow kind" true (kind = Cpu.Control_stack_overflow);
       Alcotest.(check bool) "overflow reported" true
         (string_contains message "stack overflow")
   | () -> Alcotest.fail "expected stack overflow fault"
