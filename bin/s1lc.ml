@@ -18,6 +18,13 @@
                                            interleaved with instructions and
                                            measured cycles
      s1lc --metrics out.json ...           write all of the above as JSON
+     s1lc --remarks ...                    optimization remarks interleaved
+                                           with the source: every decision,
+                                           declined ones with the reason
+     s1lc --remarks-json out.jsonl ...     the same as a structured journal
+     s1lc --diff-runs a.json b.json        diff two exported runs (remarks,
+                                           metrics, or bench); nonzero exit
+                                           on regression past the threshold
      s1lc --fuzz 500 --seed 42             differential fuzzing: generated
                                            programs, interpreter vs compiled
                                            across the optimization lattice
@@ -84,20 +91,81 @@ let profile_json cpu : Json.t =
     ]
 
 (* The --metrics document: the Obs schema (spans + counters) extended
-   with the simulator's execution statistics and, when --profile is on,
-   the per-function cycle attribution. *)
-let metrics_json ~(cpu : Cpu.t) () : Json.t =
+   with the simulator's execution statistics, when --profile is on the
+   per-function cycle attribution, and in batch mode a per-input "files"
+   array of counter deltas (the global registry scoped back to each
+   compilation unit). *)
+let metrics_json ~(cpu : Cpu.t) ~(file_deltas : (string * (string * int) list) list) () :
+    Json.t =
+  let files_json =
+    match file_deltas with
+    | [] -> []
+    | deltas ->
+        [
+          ( "files",
+            Json.Arr
+              (List.map
+                 (fun (file, counters) ->
+                   Json.Obj
+                     [
+                       ("file", Json.Str file);
+                       ( "counters",
+                         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters) );
+                     ])
+                 deltas) );
+        ]
+  in
   match Obs.json () with
   | Json.Obj fields ->
       Json.Obj
         (fields
         @ [ ("cpu", stats_json cpu.Cpu.stats) ]
-        @ (if Cpu.profiling cpu then [ ("profile", profile_json cpu) ] else []))
+        @ (if Cpu.profiling cpu then [ ("profile", profile_json cpu) ] else [])
+        @ files_json)
   | other -> other
 
 let run phases listing transcript tns interpret repl stats timings profile metrics trace
-    annotate (rules, options) cse strict fuzz chaos seed fuzz_report evals files =
+    annotate remarks remarks_json diff_runs diff_threshold (rules, options) cse strict fuzz
+    chaos seed fuzz_report evals files =
+  let module Remark = S1_obs.Remark in
+  (* --diff-runs is a separate mode: compare two exported runs, compile
+     nothing.  The two positional arguments are the JSON files. *)
+  if diff_runs then begin
+    let module D = S1_obs.Diffrun in
+    match files with
+    | [ a; b ] -> (
+        try
+          let report = D.diff ~threshold:diff_threshold (D.load a) (D.load b) in
+          print_string (D.render report);
+          exit (if report.D.r_regressed then 1 else 0)
+        with D.Diff_error m | Remark.Journal_error m | Json.Parse_error m ->
+          Printf.eprintf "s1lc: --diff-runs: %s\n" m;
+          exit 2)
+    | _ ->
+        Printf.eprintf "s1lc: --diff-runs compares exactly two exported files (got %d)\n"
+          (List.length files);
+        exit 2
+  end;
+  (* parse --remarks=KINDS before doing any work, so a typo fails fast *)
+  let remark_kinds =
+    match remarks with
+    | None -> None
+    | Some spec ->
+        Some
+          (List.map
+             (fun name ->
+               match Remark.kind_of_name (String.trim (String.lowercase_ascii name)) with
+               | Some k -> k
+               | None ->
+                   Printf.eprintf
+                     "s1lc: --remarks: unknown kind %S (expected passed, missed, analysis)\n"
+                     name;
+                   exit 2)
+             (String.split_on_char ',' spec))
+  in
   let c = C.create ~options ~rules ~cse ~strict () in
+  Remark.reset ();
+  if remark_kinds <> None || remarks_json <> None then Remark.set_enabled true;
   (* measure only the user's forms: boot noise (builtin stubs, prelude)
      stays out of the counters and the profile *)
   Obs.reset ();
@@ -112,7 +180,11 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       "pdl.stack_boxes"; "pdl.heap_boxes"; "tn.total"; "tn.in_registers"; "tn.pointer_slots";
       "tn.scratch_slots"; "tn.across_call"; "fuzz.programs"; "fuzz.divergences";
       "fuzz.shrink_steps"; "fuzz.interp_errors"; "robust.pass_rollback";
-      "robust.verify_fail"; "chaos.programs"; "chaos.faults"; "chaos.failures" ];
+      "robust.verify_fail"; "chaos.programs"; "chaos.faults"; "chaos.failures";
+      "heap.alloc.cons"; "heap.alloc.single_flonum"; "heap.alloc.double_flonum";
+      "heap.alloc.bignum"; "heap.alloc.closure"; "heap.alloc.vector"; "heap.alloc.words";
+      "heap.gc.collections"; "heap.gc.words_swept"; "heap.gc.pause_cycles";
+      "heap.certified_escapes" ];
   Cpu.reset_stats c.C.rt.Rt.cpu;
   (* --annotate needs per-PC cycle counts and the loaded programs *)
   if profile || annotate then Cpu.enable_profile c.C.rt.Rt.cpu;
@@ -152,7 +224,14 @@ let run phases listing transcript tns interpret repl stats timings profile metri
     Printf.eprintf "s1lc: %s: %s\n" where msg;
     exit code
   in
+  (* Obs counters are process-global; in batch mode the metrics document
+     scopes them back per input by snapshotting around each unit, so one
+     file's numbers never bleed into the next file's entry *)
+  let file_deltas : (string * (string * int) list) list ref = ref [] in
   let process_string ~file src =
+    let before = Obs.snapshot () in
+    let record_deltas () = file_deltas := !file_deltas @ [ (file, Obs.diff ~before ()) ] in
+    Fun.protect ~finally:record_deltas @@ fun () ->
     Hashtbl.replace sources file (Array.of_list (String.split_on_char '\n' src));
     match Reader.parse_string_located ~file src with
     | forms, tab ->
@@ -270,10 +349,26 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       let oc = open_out file in
       output_string oc (S1_transform.Transcript.to_jsonl c.C.journal);
       close_out oc);
+  (match remark_kinds with
+  | None -> ()
+  | Some kinds ->
+      let source f = Hashtbl.find_opt sources f in
+      let rs =
+        List.filter (fun r -> List.mem r.Remark.r_kind kinds) (Remark.remarks ())
+      in
+      print_string (Remark.render ~kinds ~source rs);
+      let p, m, a = Remark.totals rs in
+      Printf.printf ";;; remarks: %d passed, %d missed, %d analysis\n" p m a);
+  (match remarks_json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Remark.to_jsonl (Remark.remarks ()));
+      close_out oc);
   (match metrics with
   | None -> ()
   | Some file ->
-      let doc = metrics_json ~cpu:c.C.rt.Rt.cpu () in
+      let doc = metrics_json ~cpu:c.C.rt.Rt.cpu ~file_deltas:!file_deltas () in
       let oc = open_out file in
       output_string oc (Json.to_string doc);
       output_char oc '\n';
@@ -331,6 +426,42 @@ let annotate =
         ~doc:"Print an annotated listing after execution: source lines interleaved with \
               the instructions compiled from them and the cycles the simulator measured \
               at each PC (implies profiling).")
+
+let remarks =
+  Arg.(
+    value
+    & opt ~vopt:(Some "passed,missed,analysis") (some string) None
+    & info [ "remarks" ] ~docv:"KINDS"
+        ~doc:"Print optimization remarks interleaved with the source after compilation: \
+              every decision an optimizer made or declined, with the blocking reason.  \
+              $(docv) is a comma-separated subset of $(b,passed), $(b,missed), \
+              $(b,analysis); omitting it selects all three.")
+
+let remarks_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remarks-json" ] ~docv:"FILE"
+        ~doc:"Write the full remark stream (schema s1lisp.remarks/1, one JSON object per \
+              line, decision order) to $(docv); deterministic for a fixed input and \
+              configuration, consumable by $(b,--diff-runs).")
+
+let diff_runs =
+  Arg.(
+    value & flag
+    & info [ "diff-runs" ]
+        ~doc:"Compare two exported runs instead of compiling: the two positional FILE \
+              arguments are metrics JSON ($(b,--metrics)), remark journals \
+              ($(b,--remarks-json)), or bench exports, auto-detected by schema.  Prints \
+              appeared/vanished remarks, counter deltas, and per-line cycle deltas; \
+              exits 1 when a regression exceeds $(b,--diff-threshold), 0 otherwise.")
+
+let diff_threshold =
+  Arg.(
+    value & opt float 2.0
+    & info [ "diff-threshold" ] ~docv:"PCT"
+        ~doc:"Regression threshold for $(b,--diff-runs): cycle counts may grow by up to \
+              $(docv) percent before the diff exits non-zero.")
 
 let unchecked =
   Arg.(value & flag & info [ "unchecked" ] ~doc:"Compile without run-time type checks.")
@@ -457,7 +588,8 @@ let cmd =
     (Cmd.info "s1lc" ~doc)
     Term.(
       const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ timings
-      $ profile $ metrics $ trace $ annotate $ config_term $ cse $ strict $ fuzz $ chaos
-      $ seed $ fuzz_report $ evals $ files)
+      $ profile $ metrics $ trace $ annotate $ remarks $ remarks_json $ diff_runs
+      $ diff_threshold $ config_term $ cse $ strict $ fuzz $ chaos $ seed $ fuzz_report
+      $ evals $ files)
 
 let () = exit (Cmd.eval cmd)

@@ -1379,8 +1379,15 @@ let annotate ctx (fn_lam : lam) (body_root : node) =
       let celled = v.v_captured && v.v_setqs <> [] in
       if celled then Hashtbl.replace ctx.celled v.v_id ();
       let pointer = celled || v.v_rep = POINTER in
+      (* provenance for packing remarks: the binding form's line, or the
+         first reference when the binder is synthetic *)
+      let loc =
+        match Option.bind v.v_binder (fun b -> b.n_loc) with
+        | Some l -> Some l
+        | None -> ( match v.v_refs with r :: _ -> r.n_loc | [] -> None)
+      in
       let tn =
-        Tn.fresh ctx.pool ~pointer ~rep:(if celled then POINTER else v.v_rep) v.v_name
+        Tn.fresh ctx.pool ~pointer ?loc ~rep:(if celled then POINTER else v.v_rep) v.v_name
       in
       tn.Tn.tn_first <- first;
       tn.Tn.tn_last <- last;
@@ -1425,12 +1432,25 @@ let annotate ctx (fn_lam : lam) (body_root : node) =
           Hashtbl.replace ctx.special_cache v.v_id (Tn.alloc_scratch_slot ctx.pool 1)
         end
     | _ -> ());
-    (* pdl number slots *)
-    if
-      ctx.opt.pdl_numbers && n.n_pdlokp >= 0 && n.n_pdlnump
-      && n.n_wantrep = POINTER
-      && (match n.n_isrep with SWFLO | HWFLO -> true | _ -> false)
-    then Hashtbl.replace ctx.pdl_slot n.n_id (Tn.alloc_scratch_slot ctx.pool 1);
+    (* pdl number slots: eligibility is the analysis' verdict; whether a
+       slot is actually allocated is the pdl_numbers option — keeping the
+       two apart lets --remarks show the same site as Passed under the
+       default configuration and Missed under --no-pdl *)
+    (if
+       n.n_pdlokp >= 0 && n.n_pdlnump
+       && n.n_wantrep = POINTER
+       && (match n.n_isrep with SWFLO | HWFLO -> true | _ -> false)
+     then
+       if ctx.opt.pdl_numbers then begin
+         Hashtbl.replace ctx.pdl_slot n.n_id (Tn.alloc_scratch_slot ctx.pool 1);
+         S1_obs.Remark.passed ~pass:"pdlnum" ~rule:"PDL-ALLOCATE" ~node:n.n_id ?loc:n.n_loc
+           "fresh float boxed on the stack (pdl number): lifetime bounded by a safe \
+            consumer"
+       end
+       else
+         S1_obs.Remark.missed ~pass:"pdlnum" ~rule:"PDL-ALLOCATE" ~node:n.n_id ?loc:n.n_loc
+           ~args:[ ("why", S1_obs.Remark.Str "pdl numbers disabled") ]
+           "fresh float heap-boxed: pdl numbers disabled");
     match n.kind with
     | Lambda l when (not top) && (l.l_strategy = Full_closure || l.l_strategy = Toplevel) -> ()
     | _ -> List.iter (fun c -> walk c ~top:false) (children n)
@@ -1778,7 +1798,14 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
             (* the unpeepholed program is always a correct fallback *)
             !on_fallback ~pass:"peephole" ~reason:(Printexc.to_string e);
             prog
-        else prog
+        else begin
+          S1_obs.Remark.missed ~pass:"peephole" ~rule:"BRANCH-TENSION"
+            ~node:lam_node.n_id ?loc:lam_node.n_loc
+            ~args:[ ("fn", S1_obs.Remark.Str name) ]
+            (Printf.sprintf
+               "function %s not peephole-optimized: branch tensioning disabled" name);
+          prog
+        end
       in
       Obs.incr "gen.functions";
       Obs.incr

@@ -56,12 +56,37 @@ let rec resolve at fuel l =
     | Some (Isa.Jmpa (Isa.L l2)) when l2 <> l -> resolve at (fuel - 1) l2
     | _ -> l
 
-let retarget_instr at counter (i : Isa.instr) : Isa.instr =
+(* A conditional jump at the target blocks the tensioning window: only
+   unconditional JMPAs can be seen through. *)
+let cond_jump_name : Isa.instr -> string option = function
+  | Isa.Jmp _ -> Some "JMP"
+  | Isa.Fjmp _ -> Some "FJMP"
+  | Isa.Jmpz _ -> Some "JMPZ"
+  | Isa.Jmptag _ -> Some "JMPTAG"
+  | _ -> None
+
+let retarget_instr ?loc at counter (i : Isa.instr) : Isa.instr =
+  let module Remark = S1_obs.Remark in
   let tg (t : Isa.target) =
     match t with
     | Isa.L l ->
         let l' = resolve at 8 l in
-        if l' <> l then incr counter;
+        if l' <> l then begin
+          incr counter;
+          Remark.passed ~pass:"peephole" ~rule:"BRANCH-TENSION" ?loc
+            ~args:[ ("from", Remark.Str l); ("to", Remark.Str l') ]
+            (Printf.sprintf "jump chain collapsed: %s reaches %s directly" l l')
+        end
+        else
+          (match Option.bind (Hashtbl.find_opt at l) cond_jump_name with
+          | Some blocker ->
+              Remark.missed ~pass:"peephole" ~rule:"BRANCH-TENSION" ?loc
+                ~args:[ ("target", Remark.Str l); ("blocker", Remark.Str blocker) ]
+                (Printf.sprintf
+                   "window rejected: %s begins with conditional %s, which tensioning \
+                    cannot see through"
+                   l blocker)
+          | None -> ());
         Isa.L l'
     | abs -> abs
   in
@@ -76,26 +101,32 @@ let retarget_instr at counter (i : Isa.instr) : Isa.instr =
 let tension (prog : Asm.item list) : Asm.item list * int =
   let at = instruction_at prog in
   let counter = ref 0 in
-  let prog' =
-    List.map
-      (function
-        | Asm.Instr i -> Asm.Instr (retarget_instr at counter i)
-        | Asm.Data (l, ws) ->
-            (* dispatch tables hold code addresses: tension them too *)
-            Asm.Data
-              ( l,
-                List.map
-                  (function
-                    | Asm.Labref lab ->
-                        let lab' = resolve at 8 lab in
-                        if lab' <> lab then incr counter;
-                        Asm.Labref lab'
-                    | w -> w)
-                  ws )
-        | item -> item)
-      prog
+  (* thread the last provenance mark along, so each jump's remark lands
+     on the source line the jump was compiled from *)
+  let rec go cur_loc = function
+    | [] -> []
+    | (Asm.Mark (_, loc) as item) :: rest ->
+        item :: go (match loc with Some _ -> loc | None -> cur_loc) rest
+    | Asm.Instr i :: rest -> Asm.Instr (retarget_instr ?loc:cur_loc at counter i) :: go cur_loc rest
+    | Asm.Data (l, ws) :: rest ->
+        (* dispatch tables hold code addresses: tension them too *)
+        Asm.Data
+          ( l,
+            List.map
+              (function
+                | Asm.Labref lab ->
+                    let lab' = resolve at 8 lab in
+                    if lab' <> lab then incr counter;
+                    Asm.Labref lab'
+                | w -> w)
+              ws )
+        :: go cur_loc rest
+    | item :: rest -> item :: go cur_loc rest
   in
-  (prog', !counter)
+  (* bind before reading the counter: tuple components evaluate
+     right-to-left *)
+  let out = go None prog in
+  (out, !counter)
 
 (* Does control always transfer away after this instruction? *)
 let is_barrier : Isa.instr -> bool = function

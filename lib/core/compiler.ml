@@ -185,6 +185,10 @@ let record_incident (c : t) ~pass ~reason ~loc =
   let inc = { i_pass = pass; i_reason = reason; i_loc = loc } in
   c.incidents <- inc :: c.incidents;
   c.unit_disabled <- pass :: c.unit_disabled;
+  (* the incident is itself a decision: this unit compiles degraded *)
+  S1_obs.Remark.analysis ~pass:"compiler" ~rule:"ROLLBACK" ?loc
+    ~args:[ ("pass", S1_obs.Remark.Str pass) ]
+    (Printf.sprintf "%s rolled back and disabled for this unit: %s" pass reason);
   if c.strict then raise (Strict_failure inc)
 
 (* Run one tree pass under the crash guard: snapshot the tree, run the
@@ -197,11 +201,15 @@ let guarded (c : t) ~pass ~stage (root : Node.node) (body : unit -> unit) : unit
   if List.mem pass c.unit_disabled then ()
   else begin
     let snap = Freshen.snapshot root in
+    let remark_mark = S1_obs.Remark.mark () in
     let budget = 200_000 + (1_000 * Node.size root) in
     let rollback ~verify_fail ~reason ~loc =
       if verify_fail then Obs.incr "robust.verify_fail";
       Node.restore root snap;
       S1_analysis.Analyze.refresh root;
+      (* the pass's remarks describe decisions on a tree that no longer
+         exists: the rollback takes them too *)
+      S1_obs.Remark.drop_since remark_mark;
       record_incident c ~pass ~reason ~loc
     in
     match

@@ -1,0 +1,294 @@
+(** Run-to-run regression diffing over the exported artifacts.
+
+    [s1lc --diff-runs A B] loads two files, auto-detects which journal
+    each one is — a remarks JSONL ({!Remark.schema_version}), a metrics
+    document ([s1lisp.metrics/*]), or a bench trajectory
+    ([s1lisp.bench/*]) — and reports what changed between the runs:
+
+    - remarks: appeared/vanished remarks (keyed on kind, pass, rule,
+      loc and message; node ids and sequence numbers are run-local and
+      excluded).  A vanished [Passed] remark is a regression — an
+      optimization that used to apply no longer does.
+    - metrics: counter deltas, total cycle delta, and per-line cycle
+      deltas from the profile when both documents carry one.  Cycle
+      growth beyond the threshold (percent) is a regression.
+    - bench: per-row cycle deltas joined on (experiment, name), with
+      result-value mismatches always regressions.  This replaces the
+      old zero-tolerance comparison: counts may drift within the
+      threshold without failing CI.
+
+    The report is deterministic (sorted keys) so it can itself be
+    diffed. *)
+
+module Json = Obs.Json
+
+exception Diff_error of string
+
+type doc = Metrics of Json.t | Remarks of Remark.t list | Bench of Json.t
+
+let doc_kind = function Metrics _ -> "metrics" | Remarks _ -> "remarks" | Bench _ -> "bench"
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+  | exception Sys_error m -> raise (Diff_error m)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let classify ~path (src : string) : doc =
+  (* a remarks journal is JSONL: its first line is a self-contained
+     header object; a metrics/bench document is one JSON value *)
+  let first_line =
+    match String.index_opt src '\n' with Some i -> String.sub src 0 i | None -> src
+  in
+  let header_schema =
+    match Json.parse (String.trim first_line) with
+    | j -> Option.bind (Json.member "schema" j) Json.to_str
+    | exception Json.Parse_error _ -> None
+  in
+  match header_schema with
+  | Some s when s = Remark.schema_version -> (
+      try Remarks (Remark.of_jsonl src)
+      with Remark.Journal_error m -> raise (Diff_error (path ^ ": " ^ m)))
+  | _ -> (
+      let j =
+        try Json.parse (String.trim src)
+        with Json.Parse_error m -> raise (Diff_error (path ^ ": " ^ m))
+      in
+      match Option.bind (Json.member "schema" j) Json.to_str with
+      | Some s when starts_with "s1lisp.metrics/" s -> Metrics j
+      | Some s when starts_with "s1lisp.bench/" s -> Bench j
+      | Some s -> raise (Diff_error (Printf.sprintf "%s: unsupported schema %S" path s))
+      | None -> raise (Diff_error (path ^ ": document has no schema field")))
+
+let load path = classify ~path (read_file path)
+
+(** One line of the report; [d_regression] marks the lines that make the
+    whole diff fail. *)
+type line = { d_text : string; d_regression : bool }
+
+type report = { r_kind : string; r_lines : line list; r_regressed : bool }
+
+let is_empty r = r.r_lines = []
+
+let make_report kind lines =
+  { r_kind = kind; r_lines = lines; r_regressed = List.exists (fun l -> l.d_regression) lines }
+
+let info text = { d_text = text; d_regression = false }
+let regression text = { d_text = text; d_regression = true }
+
+let pct_delta a b = if a <= 0 then 0.0 else float_of_int (b - a) *. 100.0 /. float_of_int a
+
+(* ---- remarks ---- *)
+
+(* Run-stable identity: everything but the run-local seq and node id. *)
+let remark_key (r : Remark.t) =
+  Printf.sprintf "[%s] %s/%s @%s: %s" (Remark.kind_name r.Remark.r_kind) r.Remark.r_pass
+    r.Remark.r_rule
+    (match r.Remark.r_loc with Some l -> S1_loc.Loc.to_string l | None -> "-")
+    r.Remark.r_msg
+
+let count_by_key rs =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k = remark_key r in
+      Hashtbl.replace t k (1 + Option.value ~default:0 (Hashtbl.find_opt t k)))
+    rs;
+  t
+
+let diff_remarks (a : Remark.t list) (b : Remark.t list) : report =
+  let ca = count_by_key a and cb = count_by_key b in
+  let kind_of = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace kind_of (remark_key r) r.Remark.r_kind) (a @ b);
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) ca []
+    |> fun l ->
+    Hashtbl.fold (fun k _ acc -> if Hashtbl.mem ca k then acc else k :: acc) cb l
+    |> List.sort_uniq compare
+  in
+  let lines =
+    List.concat_map
+      (fun k ->
+        let na = Option.value ~default:0 (Hashtbl.find_opt ca k) in
+        let nb = Option.value ~default:0 (Hashtbl.find_opt cb k) in
+        if na = nb then []
+        else if nb > na then [ info (Printf.sprintf "appeared (x%d): %s" (nb - na) k) ]
+        else
+          (* an optimization that used to apply and no longer does is
+             the regression this tool exists to catch *)
+          let is_passed = Hashtbl.find_opt kind_of k = Some Remark.Passed in
+          [
+            (if is_passed then regression else info)
+              (Printf.sprintf "vanished (x%d): %s" (na - nb) k);
+          ])
+      keys
+  in
+  make_report "remarks" lines
+
+(* ---- metrics ---- *)
+
+let int_member path j =
+  let rec go names j =
+    match names with
+    | [] -> Json.to_int j
+    | n :: rest -> ( match Json.member n j with Some j' -> go rest j' | None -> None)
+  in
+  go path j
+
+let counters_of j =
+  match Json.member "counters" j with
+  | Some (Json.Obj kvs) ->
+      List.filter_map (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v)) kvs
+  | _ -> []
+
+let profile_lines_of j =
+  match Option.bind (Json.member "profile" j) (Json.member "lines") with
+  | Some (Json.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Option.bind (Json.member "file" row) Json.to_str,
+              Option.bind (Json.member "line" row) Json.to_int,
+              Option.bind (Json.member "cycles" row) Json.to_int )
+          with
+          | Some f, Some l, Some c -> Some (Printf.sprintf "%s:%d" f l, c)
+          | _ -> None)
+        rows
+  | _ -> []
+
+(* below this many cycles of growth a per-line delta is reported but
+   never fails the diff: tiny lines flip across code-layout changes *)
+let line_cycle_floor = 32
+
+let diff_int_maps ~label ~threshold ~floor (a : (string * int) list) (b : (string * int) list)
+    : line list =
+  let keys = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.concat_map
+    (fun k ->
+      let va = Option.value ~default:0 (List.assoc_opt k a) in
+      let vb = Option.value ~default:0 (List.assoc_opt k b) in
+      if va = vb then []
+      else
+        let pct = pct_delta va vb in
+        let regressed = vb > va && pct > threshold && vb - va >= floor in
+        [
+          (if regressed then regression else info)
+            (Printf.sprintf "%s %s: %d -> %d (%+d, %+.1f%%)" label k va vb (vb - va) pct);
+        ])
+    keys
+
+let diff_metrics ~threshold (a : Json.t) (b : Json.t) : report =
+  let counter_lines =
+    (* counters are exact by construction; report every delta but let
+       only cycle-bearing comparisons fail the run *)
+    diff_int_maps ~label:"counter" ~threshold:infinity ~floor:max_int (counters_of a)
+      (counters_of b)
+  in
+  let cycle_lines =
+    match (int_member [ "cpu"; "cycles" ] a, int_member [ "cpu"; "cycles" ] b) with
+    | Some ca, Some cb when ca <> cb ->
+        let pct = pct_delta ca cb in
+        let regressed = cb > ca && pct > threshold in
+        [
+          (if regressed then regression else info)
+            (Printf.sprintf "cpu.cycles: %d -> %d (%+d, %+.1f%%)" ca cb (cb - ca) pct);
+        ]
+    | _ -> []
+  in
+  let line_lines =
+    diff_int_maps ~label:"line-cycles" ~threshold ~floor:line_cycle_floor
+      (profile_lines_of a) (profile_lines_of b)
+  in
+  make_report "metrics" (counter_lines @ cycle_lines @ line_lines)
+
+(* ---- bench ---- *)
+
+let bench_rows j =
+  match Json.member "rows" j with
+  | Some (Json.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Option.bind (Json.member "experiment" row) Json.to_str,
+              Option.bind (Json.member "name" row) Json.to_str )
+          with
+          | Some e, Some n -> Some (Printf.sprintf "%s / %s" e n, row)
+          | _ -> None)
+        rows
+  | _ -> []
+
+let diff_bench ~threshold (a : Json.t) (b : Json.t) : report =
+  let ra = bench_rows a and rb = bench_rows b in
+  let keys = List.sort_uniq compare (List.map fst ra @ List.map fst rb) in
+  let lines =
+    List.concat_map
+      (fun k ->
+        match (List.assoc_opt k ra, List.assoc_opt k rb) with
+        | Some _, None -> [ info (Printf.sprintf "row vanished: %s" k) ]
+        | None, Some _ -> [ info (Printf.sprintf "row appeared: %s" k) ]
+        | None, None -> []
+        | Some rowa, Some rowb ->
+            let cyc =
+              match
+                ( Option.bind (Json.member "cycles" rowa) Json.to_int,
+                  Option.bind (Json.member "cycles" rowb) Json.to_int )
+              with
+              | Some ca, Some cb when ca <> cb ->
+                  let pct = pct_delta ca cb in
+                  let regressed = cb > ca && pct > threshold in
+                  [
+                    (if regressed then regression else info)
+                      (Printf.sprintf "%s: cycles %d -> %d (%+d, %+.1f%%)" k ca cb (cb - ca)
+                         pct);
+                  ]
+              | _ -> []
+            in
+            let res =
+              match
+                ( Option.bind (Json.member "result" rowa) Json.to_str,
+                  Option.bind (Json.member "result" rowb) Json.to_str )
+              with
+              | Some va, Some vb when va <> vb ->
+                  (* a changed observable result is never within tolerance *)
+                  [ regression (Printf.sprintf "%s: result %S -> %S" k va vb) ]
+              | _ -> []
+            in
+            cyc @ res)
+      keys
+  in
+  make_report "bench" lines
+
+(* ---- driver ---- *)
+
+let diff ?(threshold = 2.0) (a : doc) (b : doc) : report =
+  match (a, b) with
+  | Remarks ra, Remarks rb -> diff_remarks ra rb
+  | Metrics ma, Metrics mb -> diff_metrics ~threshold ma mb
+  | Bench ba, Bench bb -> diff_bench ~threshold ba bb
+  | _ ->
+      raise
+        (Diff_error
+           (Printf.sprintf "cannot diff a %s export against a %s export" (doc_kind a)
+              (doc_kind b)))
+
+let render (r : report) : string =
+  let b = Buffer.create 256 in
+  if is_empty r then Buffer.add_string b (Printf.sprintf "diff-runs (%s): no differences\n" r.r_kind)
+  else begin
+    List.iter
+      (fun l ->
+        Buffer.add_string b
+          (Printf.sprintf "%s %s\n" (if l.d_regression then "REGRESSION" else "  change  ") l.d_text))
+      r.r_lines;
+    let regs = List.length (List.filter (fun l -> l.d_regression) r.r_lines) in
+    Buffer.add_string b
+      (Printf.sprintf "diff-runs (%s): %d differences, %d regressions\n" r.r_kind
+         (List.length r.r_lines) regs)
+  end;
+  Buffer.contents b

@@ -296,6 +296,24 @@ let counters ?(t = default) () =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(** {1 Scoping} — per-unit counter views over the global registry.
+
+    Batch-mode callers ([s1lc a.lisp b.lisp]) need per-file numbers
+    without resetting the session-wide totals mid-run: take a
+    {!snapshot} before the unit and {!diff} it against the registry
+    after.  The result lists only counters that moved, sorted by name. *)
+
+type snapshot = (string * int) list
+
+let snapshot ?(t = default) () : snapshot = counters ~t ()
+
+let diff ~(before : snapshot) ?(t = default) () : snapshot =
+  List.filter_map
+    (fun (name, after) ->
+      let prior = match List.assoc_opt name before with Some v -> v | None -> 0 in
+      if after <> prior then Some (name, after - prior) else None)
+    (counters ~t ())
+
 let current_path t = String.concat "/" (List.rev t.stack)
 
 let with_span ?(t = default) name f =
@@ -353,8 +371,13 @@ let pp_counters fmt ?(t = default) () =
    sibling keys such as "cpu" and "profile".  /2 adds the robustness
    incident counters (robust.pass_rollback, robust.rollback.<pass>,
    robust.verify_fail) and the chaos counters (chaos.programs,
-   chaos.faults, chaos.failures) to the fixed counter set. *)
-let schema_version = "s1lisp.metrics/2"
+   chaos.faults, chaos.failures) to the fixed counter set.  /3 adds the
+   heap/GC counters (heap.alloc.<kind>, heap.alloc.words,
+   heap.gc.collections, heap.gc.words_swept, heap.gc.pause_cycles,
+   heap.certified_escapes, plus dynamic heap.site.<file:line> keys) and
+   allows an optional sibling "files" array of per-file counter deltas
+   in batch compilations. *)
+let schema_version = "s1lisp.metrics/3"
 
 let json ?(t = default) () : Json.t =
   Json.Obj

@@ -1,0 +1,328 @@
+(** Optimization remarks: the negative space of the transcript.
+
+    The rewrite journal ({!S1_transform.Transcript}) records what the
+    optimizer {e did}; a remark records a {e decision} — including the
+    declined ones.  Every pass that can refuse an optimization reports
+    why, at the source position of the refusal:
+
+    - [Passed]: an optimization applied (a rule fired, a TN won a
+      register, a float box went to the stack);
+    - [Missed]: the pass considered the site and declined, with the
+      blocking reason as typed arguments (the effects judgement, the
+      competing TN count, the escaping consumer);
+    - [Analysis]: a fact worth surfacing that is neither (a coercion
+      interposed, a duplication avoided by thunk introduction, a pass
+      rollback).
+
+    The registry is a process-global singleton like {!Obs}, disabled by
+    default so the hot paths pay one boolean test; [s1lc --remarks] and
+    the tests enable it around the unit of interest.  Remarks are
+    deduplicated on their full identity (kind, pass, rule, node, loc,
+    message): the simplifier re-examines every node each sweep, and one
+    decision should read as one remark, not one per sweep.
+
+    Three renderings: a source-interleaved listing (like [--annotate]),
+    a canonical one-line-per-remark text (stable across processes —
+    node ids are excluded — used by the golden tests), and a JSONL
+    journal (schema {!schema_version}) consumed by [s1lc --diff-runs]. *)
+
+module Loc = S1_loc.Loc
+module Json = Obs.Json
+
+type kind = Passed | Missed | Analysis
+
+let kind_name = function Passed -> "passed" | Missed -> "missed" | Analysis -> "analysis"
+
+let kind_of_name = function
+  | "passed" -> Some Passed
+  | "missed" -> Some Missed
+  | "analysis" -> Some Analysis
+  | _ -> None
+
+(** Typed argument values, so consumers can diff and threshold without
+    re-parsing prose. *)
+type value = Int of int | Str of string | Bool of bool
+
+let value_to_string = function
+  | Int n -> string_of_int n
+  | Str s -> s
+  | Bool b -> if b then "true" else "false"
+
+type t = {
+  r_seq : int;  (** global order of recording, 0-based *)
+  r_kind : kind;
+  r_pass : string;  (** "simplify", "cse", "repan", "pdlnum", "tnbind", "peephole", "compiler" *)
+  r_rule : string;  (** decision id, e.g. "META-SUBSTITUTE", "TN-PACK" *)
+  r_node : int;  (** IR node id; -1 unknown *)
+  r_loc : Loc.t option;
+  r_msg : string;
+  r_args : (string * value) list;
+}
+
+(* The process-global registry. *)
+let enabled_flag = ref false
+let items : t list ref = ref []  (* newest first *)
+let next_seq = ref 0
+let seen : (string, unit) Hashtbl.t = Hashtbl.create 64
+
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let reset () =
+  items := [];
+  next_seq := 0;
+  Hashtbl.reset seen
+
+let identity_key ~kind ~pass ~rule ~node ~loc msg =
+  Printf.sprintf "%s|%s|%s|%d|%s|%s" (kind_name kind) pass rule node
+    (match loc with Some l -> Loc.to_string l | None -> "-")
+    msg
+
+let record ~kind ~pass ~rule ?(node = -1) ?loc ?(args = []) msg =
+  if !enabled_flag then begin
+    let key = identity_key ~kind ~pass ~rule ~node ~loc msg in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      items :=
+        { r_seq = !next_seq; r_kind = kind; r_pass = pass; r_rule = rule; r_node = node;
+          r_loc = loc; r_msg = msg; r_args = args }
+        :: !items;
+      incr next_seq
+    end
+  end
+
+let passed ~pass ~rule ?node ?loc ?args msg = record ~kind:Passed ~pass ~rule ?node ?loc ?args msg
+let missed ~pass ~rule ?node ?loc ?args msg = record ~kind:Missed ~pass ~rule ?node ?loc ?args msg
+
+let analysis ~pass ~rule ?node ?loc ?args msg =
+  record ~kind:Analysis ~pass ~rule ?node ?loc ?args msg
+
+let remarks () = List.rev !items
+
+(** {1 Rollback scoping}
+
+    A pass that rolls back must take its remarks with it: the decisions
+    it reported describe a tree that no longer exists.  The driver marks
+    before the pass body and drops on restore. *)
+
+let mark () = !next_seq
+
+let drop_since m =
+  items := List.filter (fun r -> r.r_seq < m) !items;
+  (* rebuild the dedup table so an identical decision on the retried
+     (degraded) compilation path is not silently suppressed *)
+  Hashtbl.reset seen;
+  List.iter
+    (fun r ->
+      Hashtbl.replace seen
+        (identity_key ~kind:r.r_kind ~pass:r.r_pass ~rule:r.r_rule ~node:r.r_node
+           ~loc:r.r_loc r.r_msg)
+        ())
+    !items
+
+(** {1 The JSONL journal} *)
+
+let schema_version = "s1lisp.remarks/1"
+
+let json_of_value = function
+  | Int n -> Json.Int n
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let value_of_json = function
+  | Json.Int n -> Int n
+  | Json.Str s -> Str s
+  | Json.Bool b -> Bool b
+  | other -> Str (Json.to_string ~pretty:false other)
+
+let json_of_remark (r : t) : Json.t =
+  Json.Obj
+    [
+      ("seq", Json.Int r.r_seq);
+      ("kind", Json.Str (kind_name r.r_kind));
+      ("pass", Json.Str r.r_pass);
+      ("rule", Json.Str r.r_rule);
+      ("node_id", Json.Int r.r_node);
+      ( "loc",
+        match r.r_loc with
+        | None -> Json.Null
+        | Some l ->
+            Json.Obj
+              [
+                ("file", Json.Str l.Loc.file);
+                ("line", Json.Int l.Loc.line);
+                ("col", Json.Int l.Loc.col);
+              ] );
+      ("message", Json.Str r.r_msg);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) r.r_args));
+    ]
+
+(* One header line carrying the schema, then one remark per line, in
+   sequence (decision) order — deterministic for a fixed input and
+   configuration. *)
+let to_jsonl (rs : t list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Json.to_string ~pretty:false (Json.Obj [ ("schema", Json.Str schema_version) ]));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (Json.to_string ~pretty:false (json_of_remark r));
+      Buffer.add_char b '\n')
+    rs;
+  Buffer.contents b
+
+exception Journal_error of string
+
+let remark_of_json (j : Json.t) : t =
+  let get name = Json.member name j in
+  let int name ~default =
+    match Option.bind (get name) Json.to_int with Some n -> n | None -> default
+  in
+  let str name =
+    match Option.bind (get name) Json.to_str with
+    | Some s -> s
+    | None -> raise (Journal_error (Printf.sprintf "remark missing field %S" name))
+  in
+  let kind =
+    match kind_of_name (str "kind") with
+    | Some k -> k
+    | None -> raise (Journal_error (Printf.sprintf "unknown remark kind %S" (str "kind")))
+  in
+  let loc =
+    match get "loc" with
+    | Some (Json.Obj _ as l) -> (
+        match
+          ( Option.bind (Json.member "file" l) Json.to_str,
+            Option.bind (Json.member "line" l) Json.to_int,
+            Option.bind (Json.member "col" l) Json.to_int )
+        with
+        | Some file, Some line, Some col -> Some (Loc.make ~file ~line ~col)
+        | _ -> raise (Journal_error "malformed loc object"))
+    | _ -> None
+  in
+  let args =
+    match get "args" with
+    | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+    | _ -> []
+  in
+  {
+    r_seq = int "seq" ~default:0;
+    r_kind = kind;
+    r_pass = str "pass";
+    r_rule = str "rule";
+    r_node = int "node_id" ~default:(-1);
+    r_loc = loc;
+    r_msg = str "message";
+    r_args = args;
+  }
+
+let of_jsonl (src : string) : t list =
+  let lines =
+    String.split_on_char '\n' src |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> raise (Journal_error "empty remarks journal")
+  | header :: rest ->
+      let hj =
+        try Json.parse header
+        with Json.Parse_error m -> raise (Journal_error ("bad header: " ^ m))
+      in
+      (match Option.bind (Json.member "schema" hj) Json.to_str with
+      | Some s when s = schema_version -> ()
+      | Some s -> raise (Journal_error (Printf.sprintf "unsupported schema %S" s))
+      | None -> raise (Journal_error "header lacks a schema field"));
+      List.map
+        (fun line ->
+          match Json.parse line with
+          | j -> remark_of_json j
+          | exception Json.Parse_error m -> raise (Journal_error ("bad remark: " ^ m)))
+        rest
+
+(** {1 Text renderings} *)
+
+let args_to_string = function
+  | [] -> ""
+  | args ->
+      " {"
+      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) args)
+      ^ "}"
+
+(* One remark, one line, no node ids: stable across processes for the
+   same source and configuration — the golden-test format. *)
+let canonical (r : t) : string =
+  Printf.sprintf "%-8s %s/%s @%s: %s%s" (kind_name r.r_kind) r.r_pass r.r_rule
+    (match r.r_loc with Some l -> Loc.to_string l | None -> "-")
+    r.r_msg (args_to_string r.r_args)
+
+let canonical_all (rs : t list) : string =
+  String.concat "" (List.map (fun r -> canonical r ^ "\n") rs)
+
+(* Source-interleaved rendering, in the style of [--annotate]: each
+   source line that attracted remarks is printed once, its remarks
+   beneath it; unlocated remarks pool at the end. *)
+let render ?(kinds = [ Passed; Missed; Analysis ]) ~(source : string -> string array option)
+    (rs : t list) : string =
+  let rs = List.filter (fun r -> List.mem r.r_kind kinds) rs in
+  let located, unlocated = List.partition (fun r -> r.r_loc <> None) rs in
+  let by_line : ((string * int) * t list ref) list ref = ref [] in
+  List.iter
+    (fun r ->
+      match r.r_loc with
+      | None -> ()
+      | Some l ->
+          let key = (l.Loc.file, l.Loc.line) in
+          (match List.assoc_opt key !by_line with
+          | Some cell -> cell := r :: !cell
+          | None -> by_line := !by_line @ [ (key, ref [ r ]) ]))
+    located;
+  let b = Buffer.create 1024 in
+  let groups =
+    List.sort
+      (fun ((fa, la), _) ((fb, lb), _) ->
+        let c = compare fa fb in
+        if c <> 0 then c else compare la lb)
+      !by_line
+  in
+  let last_file = ref "" in
+  List.iter
+    (fun ((file, line), cell) ->
+      if file <> !last_file then begin
+        if !last_file <> "" then Buffer.add_char b '\n';
+        Buffer.add_string b (Printf.sprintf ";;; remarks for %s\n" file);
+        last_file := file
+      end;
+      let text =
+        match source file with
+        | Some lines when line >= 1 && line <= Array.length lines -> lines.(line - 1)
+        | _ -> ""
+      in
+      Buffer.add_string b (Printf.sprintf "%5d | %s\n" line text);
+      List.iter
+        (fun r ->
+          Buffer.add_string b
+            (Printf.sprintf "      |   [%s] %s/%s: %s%s\n" (kind_name r.r_kind) r.r_pass
+               r.r_rule r.r_msg (args_to_string r.r_args)))
+        (List.sort (fun a b -> compare a.r_seq b.r_seq) !cell))
+    groups;
+  if unlocated <> [] then begin
+    if groups <> [] then Buffer.add_char b '\n';
+    Buffer.add_string b ";;; remarks with no source position\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf "      |   [%s] %s/%s: %s%s\n" (kind_name r.r_kind) r.r_pass
+             r.r_rule r.r_msg (args_to_string r.r_args)))
+      unlocated
+  end;
+  Buffer.contents b
+
+(* Per-kind totals, for one-line summaries. *)
+let totals (rs : t list) : int * int * int =
+  List.fold_left
+    (fun (p, m, a) r ->
+      match r.r_kind with
+      | Passed -> (p + 1, m, a)
+      | Missed -> (p, m + 1, a)
+      | Analysis -> (p, m, a + 1))
+    (0, 0, 0) rs

@@ -286,6 +286,126 @@ let unify_variable_reps (root : node) : bool =
     root;
   !changed
 
+(* Decision reporting ------------------------------------------------------------- *)
+
+module Remark = S1_obs.Remark
+
+(* After the fixpoint settles, walk the tree once and explain every
+   representation decision: which prims open-code and which fall back to
+   native calls (and why), which parameters got raw reps and which stayed
+   boxed (and what blocked them), and which If joins forced POINTER
+   because the arms disagree.  The walk is preorder, so remark order is
+   deterministic for a given tree. *)
+let report (root : node) : unit =
+  if Remark.enabled () then begin
+    (* binding initializers, as unify_variable_reps saw them *)
+    let init_rep : (int, rep) Hashtbl.t = Hashtbl.create 16 in
+    iter
+      (fun n ->
+        match n.kind with
+        | Call ({ kind = Lambda l; _ }, args) when l.l_strategy = Open -> (
+            try
+              List.iter2
+                (fun p a -> Hashtbl.replace init_rep p.p_var.v_id a.n_isrep)
+                l.l_params args
+            with Invalid_argument _ -> ())
+        | _ -> ())
+      root;
+    iter
+      (fun n ->
+        match n.kind with
+        | Call ({ kind = Term (Sexp.Sym fname); _ }, args) -> (
+            let nargs = List.length args in
+            match Prims.find fname with
+            | Some { Prims.res_rep = Some r; _ } ->
+                if !inline_prims && Prims.inlinable fname nargs then
+                  Remark.passed ~pass:"repan" ~rule:"OPEN-CODE" ~node:n.n_id ?loc:n.n_loc
+                    ~args:[ ("fn", Remark.Str fname); ("rep", Remark.Str (rep_name r)) ]
+                    (Printf.sprintf "%s compiles inline, delivering raw %s" fname
+                       (rep_name r))
+                else
+                  Remark.missed ~pass:"repan" ~rule:"OPEN-CODE" ~node:n.n_id ?loc:n.n_loc
+                    ~args:[ ("fn", Remark.Str fname); ("arity", Remark.Int nargs) ]
+                    (if not !inline_prims then
+                       Printf.sprintf
+                         "%s goes out-of-line (prim inlining disabled); result boxed to \
+                          POINTER"
+                         fname
+                     else
+                       Printf.sprintf
+                         "%s has no inline template at %d arguments; native call returns \
+                          a boxed POINTER"
+                         fname nargs)
+            | _ -> ())
+        | Lambda l ->
+            List.iter
+              (fun p ->
+                let v = p.p_var in
+                if v.v_special || v.v_refs = [] then ()
+                else if raw_number_rep v.v_rep then
+                  Remark.passed ~pass:"repan" ~rule:"REP-UNBOX" ~node:n.n_id ?loc:n.n_loc
+                    ~args:
+                      [ ("var", Remark.Str v.v_name);
+                        ("rep", Remark.Str (rep_name v.v_rep)) ]
+                    (Printf.sprintf "variable %s carried unboxed as %s" v.v_name
+                       (rep_name v.v_rep))
+                else begin
+                  let ref_reps =
+                    List.sort_uniq compare (List.map (fun r -> r.n_wantrep) v.v_refs)
+                  in
+                  let raw_wanted =
+                    List.filter_map
+                      (fun r -> if raw_number_rep r then Some r else None)
+                      ref_reps
+                  in
+                  let declined why extra =
+                    Remark.missed ~pass:"repan" ~rule:"REP-UNBOX" ~node:n.n_id ?loc:n.n_loc
+                      ~args:(("var", Remark.Str v.v_name) :: extra)
+                      (Printf.sprintf "variable %s stays boxed: %s" v.v_name why)
+                  in
+                  match raw_wanted with
+                  | [] -> () (* no reference asks for a raw rep: nothing missed *)
+                  | first_raw :: _ ->
+                      if v.v_captured then declined "captured by a closure" []
+                      else if
+                        List.exists
+                          (fun r -> (not (raw_number_rep r)) && r <> NONE)
+                          ref_reps
+                        || List.length raw_wanted > 1
+                      then
+                        declined "reference contexts disagree on a representation"
+                          [ ( "wanted",
+                              Remark.Str
+                                (String.concat "," (List.map rep_name ref_reps)) ) ]
+                      else if v.v_setqs <> [] then
+                        declined "assigned (SETQ) — unboxing would need a store rewrite"
+                          []
+                      else (
+                        match Hashtbl.find_opt init_rep v.v_id with
+                        | Some ir when ir <> first_raw ->
+                            declined
+                              (Printf.sprintf
+                                 "initializer delivers %s but references want %s"
+                                 (rep_name ir) (rep_name first_raw))
+                              []
+                        | None -> declined "binding initializer not analyzable" []
+                        | Some _ -> ())
+                end)
+              l.l_params
+        | If (_, x, y)
+          when n.n_isrep = POINTER
+               && n.n_wantrep <> NONE && n.n_wantrep <> JUMP
+               && x.n_isrep <> y.n_isrep
+               && (raw_number_rep x.n_isrep || raw_number_rep y.n_isrep) ->
+            Remark.missed ~pass:"repan" ~rule:"REP-JOIN" ~node:n.n_id ?loc:n.n_loc
+              ~args:
+                [ ("then_rep", Remark.Str (rep_name x.n_isrep));
+                  ("else_rep", Remark.Str (rep_name y.n_isrep)) ]
+              "conditional arms deliver different representations; value boxed to POINTER"
+        | _ -> ())
+      root
+  end
+
 (* Entry point -------------------------------------------------------------------- *)
 
 let run ?(inline = true) (root : node) : unit =
@@ -299,6 +419,7 @@ let run ?(inline = true) (root : node) : unit =
         if k > 0 && unify_variable_reps root then fix (k - 1)
       in
       fix 4;
+      report root;
       (* representation choices, per kind: one counter per variable rep
          and one per delivered (ISREP) value rep *)
       iter

@@ -1,6 +1,7 @@
 module Mem = S1_machine.Mem
 module Word = S1_machine.Word
 module Tags = S1_machine.Tags
+module Obs = S1_obs.Obs
 
 (* Raised only after a full collection still cannot satisfy the request;
    the service layer converts it into a {!S1_machine.Cpu} heap trap so a
@@ -51,6 +52,21 @@ let kind_of_int = function
   | n -> invalid_arg (Printf.sprintf "bad heap kind %d" n)
 
 let max_kind = 11
+
+(* Counter suffix per kind, for the heap.alloc.* observability family. *)
+let kind_counter_name = function
+  | Free -> "free"
+  | Cons -> "cons"
+  | Symbol -> "symbol"
+  | Single -> "single_flonum"
+  | Double -> "double_flonum"
+  | Bignum_obj -> "bignum"
+  | Ratio_obj -> "ratio"
+  | Complex_obj -> "complex"
+  | String_obj -> "string"
+  | Vector_obj -> "vector"
+  | Closure_obj -> "closure"
+  | Code_obj -> "code"
 
 (* Header: [35: mark][34..30: kind][29..0: payload size]. *)
 let header ~mark ~kind ~size =
@@ -232,8 +248,16 @@ let sweep h =
 
 let collect h =
   h.stats.collections <- h.stats.collections + 1;
+  let extent_before = h.bump - h.base in
   mark_from h (gather_roots h);
-  sweep h
+  sweep h;
+  (* GC observability, under a deterministic cost model: mark and sweep
+     each walk the heap extent once, so a pause charges two cycles per
+     extent word.  Not a measurement — a reproducible attribution, like
+     the simulator's instruction timings. *)
+  Obs.incr "heap.gc.collections";
+  Obs.incr ~n:(max 0 (extent_before - h.stats.live_after_last_gc)) "heap.gc.words_swept";
+  Obs.incr ~n:(extent_before * 2) "heap.gc.pause_cycles"
 
 (* Allocation --------------------------------------------------------------- *)
 
@@ -266,6 +290,8 @@ let alloc h kind nwords =
     done;
     h.stats.allocations <- h.stats.allocations + 1;
     h.stats.words_allocated <- h.stats.words_allocated + span + 1;
+    Obs.incr ("heap.alloc." ^ kind_counter_name kind);
+    Obs.incr ~n:(span + 1) "heap.alloc.words";
     hdr_addr + 1
   in
   let try_bump () =

@@ -214,8 +214,11 @@ let certify_word rt w =
   let addr = Word.addr_of w in
   if Tags.is_pointer tag && Mem.is_stack_addr rt.mem addr then
     match tag with
-    | Tags.Single_flonum -> Obj.single rt.obj (F36.decode_single (Mem.read rt.mem addr))
+    | Tags.Single_flonum ->
+        S1_obs.Obs.incr "heap.certified_escapes";
+        Obj.single rt.obj (F36.decode_single (Mem.read rt.mem addr))
     | Tags.Double_flonum ->
+        S1_obs.Obs.incr "heap.certified_escapes";
         Obj.double rt.obj (F36.decode_double (Mem.read rt.mem addr, Mem.read rt.mem (addr + 1)))
     | _ -> err "certify: unexpected stack pointer of type %s" (Tags.name tag)
   else w
@@ -533,8 +536,22 @@ let create ?config () =
       in
       catch_words @ rt.protected);
   (* Service dispatch *)
+  let allocating_svcs =
+    [
+      Svc.cons; Svc.single_flonum_cons; Svc.double_flonum_cons; Svc.closure_cons;
+      Svc.vector_cons; Svc.make_rest; Svc.box_integer;
+    ]
+  in
   cpu.Cpu.service <-
     (fun _cpu id ->
+      (* per-site allocation attribution: the provenance mark covering
+         the trapping SVC names the source line that allocated *)
+      if List.mem id allocating_svcs then
+        S1_obs.Obs.incr
+          (match Cpu.provenance_at cpu cpu.Cpu.pc with
+          | Some { S1_machine.Asm.m_loc = Some l; _ } ->
+              Printf.sprintf "heap.site.%s:%d" l.S1_loc.Loc.file l.S1_loc.Loc.line
+          | _ -> "heap.site.unattributed");
       match Hashtbl.find_opt handlers id with
       | Some f -> (
           (* surface runtime-level faults as Lisp error conditions;

@@ -38,6 +38,7 @@ type tn = {
   tn_rep : Node.rep;
   tn_pointer : bool;  (** needs GC-visible (pointer region) storage if in memory *)
   tn_width : int;
+  tn_loc : S1_loc.Loc.t option;  (** source position of the bound quantity, for remarks *)
   mutable tn_first : int;
   mutable tn_last : int;
   mutable tn_uses : int;
@@ -61,7 +62,7 @@ let tick pool =
   pool.clock <- pool.clock + 1;
   pool.clock
 
-let fresh pool ?(width = 1) ?(must_frame = false) ~pointer ~rep name =
+let fresh pool ?(width = 1) ?(must_frame = false) ?loc ~pointer ~rep name =
   pool.next_id <- pool.next_id + 1;
   let tn =
     {
@@ -70,6 +71,7 @@ let fresh pool ?(width = 1) ?(must_frame = false) ~pointer ~rep name =
       tn_rep = rep;
       tn_pointer = pointer;
       tn_width = width;
+      tn_loc = loc;
       tn_first = pool.clock;
       tn_last = pool.clock;
       tn_uses = 0;
@@ -116,6 +118,7 @@ type result = {
 }
 
 let pack ?(naive = false) ?(registers = [ 14; 15; 16; 17; 18; 19; 8; 9; 10; 11 ]) pool =
+  let module Remark = S1_obs.Remark in
   (* Priority: most-used first, then shorter lifetimes. *)
   let order =
     List.sort
@@ -129,29 +132,75 @@ let pack ?(naive = false) ?(registers = [ 14; 15; 16; 17; 18; 19; 8; 9; 10; 11 ]
   List.iter
     (fun tn ->
       if tn.tn_storage <> None then ()
-      else if (not naive) && (not tn.tn_must_frame) && (not tn.tn_across_call) && tn.tn_width = 1
-      then begin
-        (* try a register with no overlapping occupant *)
-        let free r =
-          not
-            (List.exists (fun (r', tn') -> r = r' && overlap tn tn') !assignments)
+      else begin
+        let cost_args =
+          [
+            ("tn", Remark.Str tn.tn_name);
+            ("uses", Remark.Int tn.tn_uses);
+            ("lifetime", Remark.Int (tn.tn_last - tn.tn_first));
+          ]
         in
-        match List.find_opt free registers with
-        | Some r ->
-            tn.tn_storage <- Some (Sreg r);
-            assignments := (r, tn) :: !assignments;
-            incr in_regs
-        | None ->
-            tn.tn_storage <-
-              Some
-                (if tn.tn_pointer then Sframe (alloc_pointer_slot pool)
-                 else Sscratch (alloc_scratch_slot pool tn.tn_width))
-      end
-      else
-        tn.tn_storage <-
-          Some
-            (if tn.tn_pointer then Sframe (alloc_pointer_slot pool)
-             else Sscratch (alloc_scratch_slot pool tn.tn_width)))
+        let spill () =
+          tn.tn_storage <-
+            Some
+              (if tn.tn_pointer then Sframe (alloc_pointer_slot pool)
+               else Sscratch (alloc_scratch_slot pool tn.tn_width))
+        in
+        let qualified =
+          (not tn.tn_must_frame) && (not tn.tn_across_call) && tn.tn_width = 1
+        in
+        if not qualified then begin
+          (* structurally frame-bound: no packing order could help *)
+          let why =
+            if tn.tn_must_frame then
+              "must live in the frame (pdl slot, special cache, or captured cell)"
+            else if tn.tn_across_call then
+              "lifetime crosses a call and registers are caller-destroyed"
+            else "wider than one word"
+          in
+          Remark.missed ~pass:"tnbind" ~rule:"TN-PACK" ?loc:tn.tn_loc ~args:cost_args
+            (Printf.sprintf "TN %s packed to memory: %s" tn.tn_name why);
+          spill ()
+        end
+        else if naive then begin
+          Remark.missed ~pass:"tnbind" ~rule:"TN-PACK" ?loc:tn.tn_loc ~args:cost_args
+            (Printf.sprintf "TN %s sent to the frame: TNBIND packing disabled" tn.tn_name);
+          spill ()
+        end
+        else begin
+          (* try a register with no overlapping occupant *)
+          let free r =
+            not (List.exists (fun (r', tn') -> r = r' && overlap tn tn') !assignments)
+          in
+          match List.find_opt free registers with
+          | Some r ->
+              tn.tn_storage <- Some (Sreg r);
+              assignments := (r, tn) :: !assignments;
+              incr in_regs;
+              Remark.passed ~pass:"tnbind" ~rule:"TN-PACK" ?loc:tn.tn_loc ~args:cost_args
+                (Printf.sprintf "TN %s won register %s" tn.tn_name
+                   (S1_machine.Isa.reg_name r))
+          | None ->
+              (* the cost numbers that lost: every register is held by a
+                 TN whose lifetime overlaps this one *)
+              let competitors =
+                List.length
+                  (List.filter (fun (_, tn') -> overlap tn tn') !assignments)
+              in
+              Remark.missed ~pass:"tnbind" ~rule:"TN-PACK" ?loc:tn.tn_loc
+                ~args:
+                  (cost_args
+                  @ [
+                      ("competitors", Remark.Int competitors);
+                      ("registers", Remark.Int (List.length registers));
+                    ])
+                (Printf.sprintf
+                   "TN %s lost the packing auction: all %d registers held by \
+                    overlapping higher-priority TNs"
+                   tn.tn_name (List.length registers));
+              spill ()
+        end
+      end)
     order;
   let module Obs = S1_obs.Obs in
   Obs.incr ~n:(List.length pool.tns) "tn.total";

@@ -123,9 +123,56 @@ let eliminate_one (ts : Transcript.t) (root : node) : bool =
       (match home.n_loc with
       | Some l -> S1_obs.Obs.incr ("rule_at." ^ S1_loc.Loc.line_key l)
       | None -> ());
+      S1_obs.Remark.passed ~pass:"cse" ~rule:"COMMON-SUBEXPRESSION-ELIMINATION"
+        ~node:home.n_id ?loc:home.n_loc
+        ~args:[ ("occurrences", S1_obs.Remark.Int (List.length nodes)) ]
+        (Printf.sprintf "bound %s once for %d occurrences"
+           (Rules.short (Backtrans.to_string template))
+           (List.length nodes));
       Transcript.record ts ~pass:"cse" ~node:home.n_id ?loc:home.n_loc ~before
         ~after:(Backtrans.to_string home) ~rule:"COMMON-SUBEXPRESSION-ELIMINATION" ();
       true
+
+(* The negative space: expressions that hash to the same fingerprint at
+   eliminable complexity but are not timeless — a second evaluation could
+   observe a SETQ, a special, or an effect, so the duplicate must stand.
+   Reported once per fingerprint on the post-elimination tree, in an
+   order independent of hash-table iteration and node numbering. *)
+let report_missed (root : node) =
+  if S1_obs.Remark.enabled () then begin
+    let occs : (string, node list) Hashtbl.t = Hashtbl.create 32 in
+    let rec walk n ~top =
+      match n.kind with
+      | Lambda l when (not top) && (l.l_strategy = Full_closure || l.l_strategy = Toplevel)
+        ->
+          ()
+      | _ ->
+          (match n.kind with
+          | Call _ when n.n_complexity >= min_complexity && not (Rules.timeless n) ->
+              let key = fingerprint n in
+              let prev = try Hashtbl.find occs key with Not_found -> [] in
+              Hashtbl.replace occs key (n :: prev)
+          | _ -> ());
+          List.iter (fun c -> walk c ~top:false) (children n)
+    in
+    walk root ~top:true;
+    Hashtbl.fold (fun _ ns acc -> match ns with _ :: _ :: _ -> List.rev ns :: acc | _ -> acc)
+      occs []
+    |> List.map (fun ns ->
+           let first = List.hd ns in
+           (Backtrans.to_string first, first, List.length ns))
+    |> List.sort (fun (ta, na, _) (tb, nb, _) ->
+           let c = compare ta tb in
+           if c <> 0 then c else compare na.n_loc nb.n_loc)
+    |> List.iter (fun (text, first, count) ->
+           S1_obs.Remark.missed ~pass:"cse" ~rule:"COMMON-SUBEXPRESSION-ELIMINATION"
+             ~node:first.n_id ?loc:first.n_loc
+             ~args:[ ("occurrences", S1_obs.Remark.Int count) ]
+             (Printf.sprintf
+                "repeated expression %s is not timeless (may read mutable storage or have \
+                 effects)"
+                (Rules.short text)))
+  end
 
 let run ?(transcript = Transcript.create ~enabled:false ()) (root : node) : int =
   S1_obs.Obs.with_span "cse" (fun () ->
@@ -136,5 +183,6 @@ let run ?(transcript = Transcript.create ~enabled:false ()) (root : node) : int 
         if eliminate_one transcript root then incr eliminated else continue_ := false
       done;
       S1_analysis.Analyze.refresh root;
+      report_missed root;
       S1_obs.Obs.incr ~n:!eliminated "cse.eliminated";
       !eliminated)

@@ -51,6 +51,11 @@ let nothing =
 
 type ctx = { cfg : config; ts : Transcript.t }
 
+module Remark = S1_obs.Remark
+
+(* Remark messages embed source forms; keep them one-line short. *)
+let short s = if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+
 (* Count a rule firing both globally and per source line, so hot rewrite
    sites show up in --timings/--metrics alongside hot rules. *)
 let count_fire rule (n : node) =
@@ -64,6 +69,8 @@ let fire ctx rule (n : node) (new_kind : kind) =
   n.kind <- new_kind;
   n.n_dirty <- true;
   count_fire rule n;
+  Remark.passed ~pass:"simplify" ~rule ~node:n.n_id ?loc:n.n_loc
+    (Printf.sprintf "optimized %s" (short before));
   Transcript.record ctx.ts ~node:n.n_id ?loc:n.n_loc ~before
     ~after:(Backtrans.to_string n) ~rule ();
   true
@@ -128,7 +135,16 @@ let assigned root v =
 let substitutable ctx root (p : param) (arg : node) =
   let v = p.p_var in
   let refs = occurrences root v in
-  if v.v_special || assigned root v then `No
+  (* every `No carries its reason out as a Missed remark at the binding
+     call: the negative space of beta-conversion *)
+  let declined why extra =
+    Remark.missed ~pass:"simplify" ~rule:"META-SUBSTITUTE" ~node:root.n_id ?loc:root.n_loc
+      ~args:(("var", Remark.Str v.v_name) :: extra)
+      why;
+    `No
+  in
+  if v.v_special then declined "cannot substitute: variable is special (dynamic binding)" []
+  else if assigned root v then declined "cannot substitute: variable is assigned (SETQ)" []
   else if refs = 0 then `Unused
   else if timeless arg && (refs = 1 || arg.n_complexity <= 2) then
     (* multi-reference substitution only for trivially cheap expressions,
@@ -147,30 +163,34 @@ let substitutable ctx root (p : param) (arg : node) =
        argument, provided the reference is not under an inner lambda
        (evaluation count) and the argument cannot observe the body's
        effects (it is pure, so only control/timing matter). *)
-    if
-          integration_ok
-          && refs = 1
-          && Effects.deletable arg
-          && (not arg.n_effects.eff_special)
-          &&
-          (* the one reference must not sit inside a nested lambda *)
-          let under_lambda = ref false in
-          let rec scan n inside =
-            (match n.kind with
-            | Var v' when v' == v && inside -> under_lambda := true
-            | _ -> ());
-            match n.kind with
-            | Lambda l ->
-                List.iter
-                  (fun p -> Option.iter (fun d -> scan d inside) p.p_default)
-                  l.l_params;
-                scan l.l_body true
-            | _ -> List.iter (fun c -> scan c inside) (children n)
-          in
-          List.iter (fun c -> scan c false) (children root);
-          not !under_lambda
-    then `Everywhere
-    else `No
+    if not integration_ok then
+      declined "procedure integration disabled" [ ("refs", Remark.Int refs) ]
+    else if refs <> 1 then
+      declined "referenced more than once and the argument is too complex to duplicate"
+        [ ("refs", Remark.Int refs); ("complexity", Remark.Int arg.n_complexity) ]
+    else if not (Effects.deletable arg) then declined "argument has side effects" []
+    else if arg.n_effects.eff_special then declined "argument reads special variables" []
+    else begin
+      (* the one reference must not sit inside a nested lambda *)
+      let under_lambda = ref false in
+      let rec scan n inside =
+        (match n.kind with
+        | Var v' when v' == v && inside -> under_lambda := true
+        | _ -> ());
+        match n.kind with
+        | Lambda l ->
+            List.iter
+              (fun p -> Option.iter (fun d -> scan d inside) p.p_default)
+              l.l_params;
+            scan l.l_body true
+        | _ -> List.iter (fun c -> scan c inside) (children n)
+      in
+      List.iter (fun c -> scan c false) (children root);
+      if !under_lambda then
+        declined "the reference sits under an inner lambda (evaluation count would change)"
+          []
+      else `Everywhere
+    end
 
 let subst_refs v arg body =
   let count = ref 0 in
@@ -261,7 +281,17 @@ let rule_fold ctx (n : node) =
             let consts = List.filter_map constant_value args in
             match f consts with
             | Some result -> fire ctx "META-EVALUATE" n (Term result)
-            | None -> false)
+            | None ->
+                (* the folder refuses rather than misfold: fixnum overflow,
+                   a domain error, or operand types the rule leaves to the
+                   runtime (§5: "the compiler must be careful not to
+                   evaluate expressions the runtime would trap") *)
+                Remark.missed ~pass:"simplify" ~rule:"META-EVALUATE" ~node:n.n_id
+                  ?loc:n.n_loc
+                  ~args:[ ("fn", Remark.Str fname) ]
+                  "constant operands but the folder declined (overflow, domain, or type \
+                   rule)";
+                false)
         | _ -> false)
     | _ -> false
 
@@ -317,6 +347,15 @@ let rule_if_of_if ctx (n : node) =
           let inner_else = mk (If (z, Freshen.copy v, Freshen.copy w)) in
           fire ctx "META-DISTRIBUTE-IF" n (If (x, inner_then, inner_else))
         else begin
+          Remark.analysis ~pass:"simplify" ~rule:"META-DISTRIBUTE-IF" ~node:n.n_id
+            ?loc:n.n_loc
+            ~args:
+              [
+                ("then_complexity", Remark.Int v.n_complexity);
+                ("else_complexity", Remark.Int w.n_complexity);
+                ("max_duplicate_size", Remark.Int ctx.cfg.max_duplicate_size);
+              ]
+            "arms too complex (or effectful) to duplicate; distributing through thunks";
           let fv = mkvar "F" and gv = mkvar "G" in
           let callf () = call (var fv) [] and callg () = call (var gv) [] in
           let inner_then = mk (If (y, callf (), callg ())) in
@@ -367,28 +406,34 @@ let rule_assoc ctx (n : node) =
     match n.kind with
     | Call (({ kind = Term (Sexp.Sym fname); _ } as f), args) -> (
         match Prims.find fname with
-        | Some p
-          when p.Prims.associative && List.length args >= 3
-               && (let rec pairs = function
-                     | [] -> true
-                     | x :: rest ->
-                         List.for_all (Effects.commutable x) rest && pairs rest
-                   in
-                   (* the rewrite reverses evaluation order, so every
-                      pair of operands must be exchangeable *)
-                   pairs args) ->
-            (* (+$f a b c) => (+$f (+$f c b) a), matching the paper's
-               §7 transcript exactly: fold from the right, reversed. *)
-            (match List.rev args with
-            | last :: prev :: rest ->
-                let seed = call (Freshen.copy f) [ last; prev ] in
-                let nested =
-                  List.fold_left (fun acc a -> call (Freshen.copy f) [ acc; a ]) seed rest
-                in
-                (match nested.kind with
-                | Call (_, _) -> fire ctx "META-EVALUATE-ASSOC-COMMUT-CALL" n nested.kind
-                | _ -> false)
-            | _ -> false)
+        | Some p when p.Prims.associative && List.length args >= 3 ->
+            let rec pairs = function
+              | [] -> true
+              | x :: rest -> List.for_all (Effects.commutable x) rest && pairs rest
+            in
+            (* the rewrite reverses evaluation order, so every pair of
+               operands must be exchangeable *)
+            if not (pairs args) then begin
+              Remark.missed ~pass:"simplify" ~rule:"META-EVALUATE-ASSOC-COMMUT-CALL"
+                ~node:n.n_id ?loc:n.n_loc
+                ~args:
+                  [ ("fn", Remark.Str fname); ("operands", Remark.Int (List.length args)) ]
+                "operands cannot be reordered: side effects make a pair non-commutable";
+              false
+            end
+            else
+              (* (+$f a b c) => (+$f (+$f c b) a), matching the paper's
+                 §7 transcript exactly: fold from the right, reversed. *)
+              (match List.rev args with
+              | last :: prev :: rest ->
+                  let seed = call (Freshen.copy f) [ last; prev ] in
+                  let nested =
+                    List.fold_left (fun acc a -> call (Freshen.copy f) [ acc; a ]) seed rest
+                  in
+                  (match nested.kind with
+                  | Call (_, _) -> fire ctx "META-EVALUATE-ASSOC-COMMUT-CALL" n nested.kind
+                  | _ -> false)
+              | _ -> false)
         | Some p
           when p.Prims.associative && p.Prims.identity <> None && List.length args = 1
                && Effects.deletable n ->

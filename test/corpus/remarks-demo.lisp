@@ -1,0 +1,23 @@
+;;; A small program engineered so that every optimizing pass has to
+;;; decline at least one opportunity: the remark tests compile it and
+;;; assert one Missed remark per pass, each carrying a source position
+;;; and a machine-readable reason.
+
+(defun demo-helper (p q)
+  (+ p q))
+
+(defun demo (l a b)
+  ;; cse (with --cse): (car (cdr l)) appears twice but reads mutable
+  ;; storage, so it is not timeless and cannot be shared
+  (let ((u (+ (car (cdr l)) 1))
+        (v (- (car (cdr l)) 1)))
+    ;; simplify: w is referenced twice and its initializer is a call
+    ;; with side effects, so beta-substitution must decline
+    (let ((w (demo-helper u v)))
+      ;; repan: max$f has no 3-argument inline template; pdlnum: the
+      ;; fresh float is stored into a cons, so its lifetime escapes;
+      ;; tnbind: w's lifetime crosses the demo-helper call
+      (cons (max$f a b (+$f a b))
+            (cons (demo-helper w w) w)))))
+
+(demo (list 1 2 3) 1.5 2.5)
