@@ -179,12 +179,36 @@ let regression_check baseline_file : bool =
     baseline_file !failures;
   !failures = 0 && !checked > 0
 
+(* folded=DIR argv option: export each measurement row's call-path
+   profile as a flamegraph folded-stack file under DIR, one file per
+   row, named after the experiment and label. *)
+let folded_dir : string option ref = ref None
+
+let sanitize_label s =
+  String.map
+    (fun ch ->
+      match ch with 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '-' -> ch | _ -> '_')
+    s
+
+let write_folded ~label cpu =
+  match !folded_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let file =
+        Filename.concat dir (sanitize_label (!current_section ^ "." ^ label) ^ ".folded")
+      in
+      let oc = open_out file in
+      output_string oc (Cpu.render_folded cpu);
+      close_out oc
+
 let measure ?(options = Gen.default_options) ?(rules = Rules.default_config) ?(cse = false)
     ?label ~defs call =
   let c = C.create ~options ~rules ~cse () in
   if defs <> "" then ignore (C.eval_string c defs);
   ignore (C.eval_string c call) (* warm: constants interned, caches built *);
   Cpu.reset_stats c.C.rt.Rt.cpu;
+  if !folded_dir <> None then Cpu.enable_callgraph c.C.rt.Rt.cpu;
   let before_heap = (Heap.stats c.C.rt.Rt.heap).Heap.words_allocated in
   let t0 = Unix.gettimeofday () in
   let r = C.eval_string c call in
@@ -205,7 +229,9 @@ let measure ?(options = Gen.default_options) ?(rules = Rules.default_config) ?(c
       m_result = C.print_value c r;
     }
   in
-  record ~label:(match label with Some l -> l | None -> call) m;
+  let lbl = match label with Some l -> l | None -> call in
+  record ~label:lbl m;
+  write_folded ~label:lbl c.C.rt.Rt.cpu;
   m
 
 let row name m extra =
@@ -696,6 +722,11 @@ let () =
   let want_wall = Array.exists (fun a -> a = "wall") Sys.argv in
   let smoke = Array.exists (fun a -> a = "smoke") Sys.argv in
   let regression = Array.exists (fun a -> a = "regression-check") Sys.argv in
+  Array.iter
+    (fun a ->
+      if String.length a > 7 && String.sub a 0 7 = "folded=" then
+        folded_dir := Some (String.sub a 7 (String.length a - 7)))
+    Sys.argv;
   if regression then begin
     smoke_experiments ();
     exit (if regression_check "BENCH_RESULTS.json" then 0 else 1)

@@ -18,6 +18,11 @@
                                            interleaved with instructions and
                                            measured cycles
      s1lc --metrics out.json ...           write all of the above as JSON
+     s1lc --folded out.folded ...          call-path profile as flamegraph
+                                           folded stacks ("f;g;h 1234")
+     s1lc --trace-events out.json ...      runtime event timeline (GC, traps,
+                                           binds, unwinds, phases) as Chrome
+                                           trace_event JSON on the cycle clock
      s1lc --remarks ...                    optimization remarks interleaved
                                            with the source: every decision,
                                            declined ones with the reason
@@ -55,6 +60,32 @@ let stats_json (s : Cpu.stats) : Json.t =
       ("tcalls", Json.Int s.Cpu.tcalls);
       ("svcs", Json.Int s.Cpu.svcs);
       ("stack_high", Json.Int s.Cpu.stack_high);
+      ("bind_high", Json.Int s.Cpu.bind_high);
+    ]
+
+(* The call-path section of --metrics: the caller->callee edge table
+   (gprof-style, inclusive and exclusive cycles) plus allocation volume
+   by call path.  Present only when the shadow stack ran (--folded or
+   --trace-events). *)
+let callgraph_json cpu : Json.t =
+  Json.Obj
+    [
+      ( "edges",
+        Json.Arr
+          (List.map
+             (fun (e : Cpu.edge_profile) ->
+               Json.Obj
+                 [
+                   ("caller", Json.Str e.Cpu.ep_caller);
+                   ("callee", Json.Str e.Cpu.ep_callee);
+                   ("calls", Json.Int e.Cpu.ep_calls);
+                   ("tcalls", Json.Int e.Cpu.ep_tcalls);
+                   ("incl_cycles", Json.Int e.Cpu.ep_incl_cycles);
+                   ("excl_cycles", Json.Int e.Cpu.ep_excl_cycles);
+                 ])
+             (Cpu.call_edges cpu)) );
+      ( "alloc_paths",
+        Json.Obj (List.map (fun (p, w) -> (p, Json.Int w)) (Cpu.folded_alloc cpu)) );
     ]
 
 let profile_json cpu : Json.t =
@@ -67,6 +98,7 @@ let profile_json cpu : Json.t =
                Json.Obj
                  [
                    ("name", Json.Str f.Cpu.f_name);
+                   ("entry", Json.Int f.Cpu.f_entry);
                    ("cycles", Json.Int f.Cpu.f_cycles);
                    ("instructions", Json.Int f.Cpu.f_instructions);
                    ("movs", Json.Int f.Cpu.f_movs);
@@ -121,12 +153,13 @@ let metrics_json ~(cpu : Cpu.t) ~(file_deltas : (string * (string * int) list) l
         (fields
         @ [ ("cpu", stats_json cpu.Cpu.stats) ]
         @ (if Cpu.profiling cpu then [ ("profile", profile_json cpu) ] else [])
+        @ (if Cpu.callgraph_on cpu then [ ("callgraph", callgraph_json cpu) ] else [])
         @ files_json)
   | other -> other
 
 let run phases listing transcript tns interpret repl stats timings profile metrics trace
-    annotate remarks remarks_json diff_runs diff_threshold (rules, options) cse strict fuzz
-    chaos seed fuzz_report evals files =
+    annotate folded trace_events remarks remarks_json diff_runs diff_threshold
+    (rules, options) cse strict fuzz chaos seed fuzz_report evals files =
   let module Remark = S1_obs.Remark in
   (* --diff-runs is a separate mode: compare two exported runs, compile
      nothing.  The two positional arguments are the JSON files. *)
@@ -184,10 +217,18 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       "heap.alloc.cons"; "heap.alloc.single_flonum"; "heap.alloc.double_flonum";
       "heap.alloc.bignum"; "heap.alloc.closure"; "heap.alloc.vector"; "heap.alloc.words";
       "heap.gc.collections"; "heap.gc.words_swept"; "heap.gc.pause_cycles";
-      "heap.certified_escapes" ];
+      "heap.certified_escapes"; "machine.calls"; "machine.tcalls"; "machine.stack_high";
+      "machine.bind_high" ];
   Cpu.reset_stats c.C.rt.Rt.cpu;
   (* --annotate needs per-PC cycle counts and the loaded programs *)
   if profile || annotate then Cpu.enable_profile c.C.rt.Rt.cpu;
+  (* --folded and --trace-events both need the shadow call stack; the
+     timeline additionally records runtime events on the cycle clock *)
+  if folded <> None || trace_events <> None then Cpu.enable_callgraph c.C.rt.Rt.cpu;
+  if trace_events <> None then begin
+    S1_obs.Timeline.reset ();
+    S1_obs.Timeline.set_enabled true
+  end;
   if annotate then c.C.record_code <- true;
   if trace <> None then S1_transform.Transcript.set_enabled c.C.journal true;
   (* source text per input (pseudo-)file, for annotated listings *)
@@ -327,6 +368,15 @@ let run phases listing transcript tns interpret repl stats timings profile metri
        done
      with Exit | End_of_file -> ())
   end;
+  (* machine-level counters join the metrics schema (s1lisp.metrics/4)
+     after execution, so --timings/--metrics/--diff-runs see them *)
+  let () =
+    let s = c.C.rt.Rt.cpu.Cpu.stats in
+    Obs.incr ~n:s.Cpu.calls "machine.calls";
+    Obs.incr ~n:s.Cpu.tcalls "machine.tcalls";
+    Obs.incr ~n:s.Cpu.stack_high "machine.stack_high";
+    Obs.incr ~n:s.Cpu.bind_high "machine.bind_high"
+  in
   if stats then
     Format.printf "%a@." S1_machine.Cpu.pp_stats c.C.rt.Rt.cpu.S1_machine.Cpu.stats;
   if timings then begin
@@ -373,6 +423,19 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       output_string oc (Json.to_string doc);
       output_char oc '\n';
       close_out oc);
+  (match folded with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Cpu.render_folded c.C.rt.Rt.cpu);
+      close_out oc);
+  (match trace_events with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (S1_obs.Timeline.to_string ());
+      close_out oc;
+      S1_obs.Timeline.set_enabled false);
   if fuzz_failed || chaos_failed then exit 1
 
 open Cmdliner
@@ -427,6 +490,27 @@ let annotate =
               the instructions compiled from them and the cycles the simulator measured \
               at each PC (implies profiling).")
 
+let folded =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded" ] ~docv:"FILE"
+        ~doc:"Write the call-path cycle profile as flamegraph folded stacks to $(docv): \
+              one \"f;g;h cycles\" line per distinct call path, exclusive cycles, \
+              deterministic order.  Feed to flamegraph.pl or speedscope.  Tail calls \
+              replace the leaf frame, so iterative loops stay one frame deep.")
+
+let trace_events =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-events" ] ~docv:"FILE"
+        ~doc:"Write the runtime event timeline (GC collections, traps, special-variable \
+              binds/unbinds, CATCH/THROW unwinds, compiler phase spans) to $(docv) as \
+              Chrome trace_event JSON (schema s1lisp.events/1), timestamped on the \
+              deterministic simulator cycle clock.  Load in chrome://tracing or \
+              Perfetto.  Implies the shadow call stack, so events carry call paths.")
+
 let remarks =
   Arg.(
     value
@@ -452,9 +536,11 @@ let diff_runs =
     & info [ "diff-runs" ]
         ~doc:"Compare two exported runs instead of compiling: the two positional FILE \
               arguments are metrics JSON ($(b,--metrics)), remark journals \
-              ($(b,--remarks-json)), or bench exports, auto-detected by schema.  Prints \
-              appeared/vanished remarks, counter deltas, and per-line cycle deltas; \
-              exits 1 when a regression exceeds $(b,--diff-threshold), 0 otherwise.")
+              ($(b,--remarks-json)), bench exports, event timelines \
+              ($(b,--trace-events)), or folded stacks ($(b,--folded)), auto-detected by \
+              schema.  Prints appeared/vanished remarks, counter deltas, per-line and \
+              per-path cycle deltas; exits 1 when a regression exceeds \
+              $(b,--diff-threshold), 0 otherwise.")
 
 let diff_threshold =
   Arg.(
@@ -588,8 +674,8 @@ let cmd =
     (Cmd.info "s1lc" ~doc)
     Term.(
       const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ timings
-      $ profile $ metrics $ trace $ annotate $ remarks $ remarks_json $ diff_runs
-      $ diff_threshold $ config_term $ cse $ strict $ fuzz $ chaos $ seed $ fuzz_report
-      $ evals $ files)
+      $ profile $ metrics $ trace $ annotate $ folded $ trace_events $ remarks
+      $ remarks_json $ diff_runs $ diff_threshold $ config_term $ cse $ strict $ fuzz
+      $ chaos $ seed $ fuzz_report $ evals $ files)
 
 let () = exit (Cmd.eval cmd)

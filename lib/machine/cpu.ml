@@ -7,6 +7,7 @@ type stats = {
   mutable tcalls : int;
   mutable svcs : int;
   mutable stack_high : int;
+  mutable bind_high : int;  (* special-binding stack high-water, in words *)
 }
 
 (* Per-PC execution attribution, maintained only while profiling is
@@ -17,6 +18,39 @@ type profile = {
   mutable p_movs : int array;
   p_opcodes : (string, int) Hashtbl.t;  (* mnemonic -> executions *)
   p_entry_calls : (int, int) Hashtbl.t;  (* entry pc -> CALL/TCALL count *)
+}
+
+(* The shadow call stack (call-path profiler): a host-side mirror of the
+   machine's frame chain, maintained by the CALL/TCALL/RET microcode.  A
+   tail call REPLACES the top frame — the paper's O(1)-stack property of
+   tail calls holds in the shadow stack too.  Each frame remembers the
+   machine FP it mirrors (so CATCH/THROW unwinds, which restore
+   registers without executing RETs, can pop exactly the abandoned
+   frames) and the call path below it (so popping is O(1)).  Cycle
+   attribution is per path: [cg_cell] caches the counter of the current
+   path, and [cg_charged] tracks how much of [stats.cycles] has been
+   attributed so far — nested simulator runs (a native service calling
+   back into Lisp) charge their own cycles as they go, and the enclosing
+   instruction only picks up the remainder, keeping the folded total
+   exactly equal to [stats.cycles]. *)
+type cg_frame = {
+  fr_name : string;
+  fr_fp : int;  (* machine FP of the mirrored frame; min_int for the root *)
+  fr_prev_path : string;
+}
+
+type cg_edge = { mutable e_calls : int; mutable e_tcalls : int }
+
+type callgraph = {
+  mutable cg_stack : cg_frame list;  (* top first; the root is never popped *)
+  mutable cg_path : string;
+  mutable cg_cell : int ref;  (* cycle counter of cg_path, cached *)
+  mutable cg_charged : int;  (* stats.cycles already attributed to some path *)
+  cg_paths : (string, int ref) Hashtbl.t;  (* call path -> exclusive cycles *)
+  cg_edges : (string * string, cg_edge) Hashtbl.t;  (* caller, callee *)
+  cg_alloc : (string, int ref) Hashtbl.t;  (* call path -> heap words *)
+  mutable cg_depth : int;
+  mutable cg_depth_high : int;
 }
 
 type t = {
@@ -31,6 +65,7 @@ type t = {
   mutable bad_function_svc : int;
   mutable trace : bool;
   mutable profile : profile option;
+  mutable callgraph : callgraph option;
   mutable symbols : (int * int * string) list;
       (** (lo, hi, name): loaded code ranges, hi exclusive; newest first *)
   mutable mark_segments : (int * int * Asm.mark array) list;
@@ -85,7 +120,7 @@ let trap_message = function
 
 let fresh_stats () =
   { cycles = 0; instructions = 0; movs = 0; mem_traffic = 0; calls = 0; tcalls = 0; svcs = 0;
-    stack_high = 0 }
+    stack_high = 0; bind_high = 0 }
 
 let halt_addr = 0
 
@@ -104,6 +139,7 @@ let create ?mem () =
       bad_function_svc = -1;
       trace = false;
       profile = None;
+      callgraph = None;
       symbols = [];
       mark_segments = [];
     }
@@ -153,7 +189,10 @@ let reset_stats cpu =
   s.calls <- 0;
   s.tcalls <- 0;
   s.svcs <- 0;
-  s.stack_high <- 0
+  s.stack_high <- 0;
+  s.bind_high <- 0;
+  (* Cycle attribution restarts with the counter. *)
+  match cpu.callgraph with Some cg -> cg.cg_charged <- 0 | None -> ()
 
 (* Profiling ------------------------------------------------------------- *)
 
@@ -219,6 +258,15 @@ let trap cpu kind fmt_str =
       let loc =
         match provenance_at cpu cpu.pc with Some m -> m.Asm.m_loc | None -> None
       in
+      (if S1_obs.Timeline.enabled () then
+         let args =
+           [ ("pc", S1_obs.Json.Int cpu.pc); ("message", S1_obs.Json.Str s) ]
+           @
+           match loc with
+           | Some l -> [ ("loc", S1_obs.Json.Str (S1_loc.Loc.to_string l)) ]
+           | None -> []
+         in
+         S1_obs.Timeline.instant ~args ~cat:"trap" (trap_kind_name kind));
       raise (Trap { kind; pc = cpu.pc; message = s; loc }))
     fmt_str
 
@@ -231,8 +279,234 @@ let symbol_at cpu pc =
   in
   find cpu.symbols
 
+(* The call-path profiler ------------------------------------------------ *)
+
+let cg_root_name = "(root)"
+
+(* Sink for per-step attribution when the callgraph is off. *)
+let cg_dummy_cell = ref 0
+
+let fresh_callgraph ~charged () =
+  let paths = Hashtbl.create 64 in
+  let cell = ref 0 in
+  Hashtbl.replace paths cg_root_name cell;
+  {
+    cg_stack = [ { fr_name = cg_root_name; fr_fp = min_int; fr_prev_path = "" } ];
+    cg_path = cg_root_name;
+    cg_cell = cell;
+    cg_charged = charged;
+    cg_paths = paths;
+    cg_edges = Hashtbl.create 64;
+    cg_alloc = Hashtbl.create 32;
+    cg_depth = 1;
+    cg_depth_high = 1;
+  }
+
+let enable_callgraph cpu =
+  if cpu.callgraph = None then
+    cpu.callgraph <- Some (fresh_callgraph ~charged:cpu.stats.cycles ())
+
+let callgraph_on cpu = cpu.callgraph <> None
+
+let reset_callgraph cpu =
+  if cpu.callgraph <> None then
+    cpu.callgraph <- Some (fresh_callgraph ~charged:cpu.stats.cycles ())
+
+let cg_cell_for cg path =
+  match Hashtbl.find_opt cg.cg_paths path with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      Hashtbl.replace cg.cg_paths path c;
+      c
+
+let cg_push cg ~name ~fp =
+  cg.cg_stack <- { fr_name = name; fr_fp = fp; fr_prev_path = cg.cg_path } :: cg.cg_stack;
+  cg.cg_depth <- cg.cg_depth + 1;
+  if cg.cg_depth > cg.cg_depth_high then cg.cg_depth_high <- cg.cg_depth;
+  cg.cg_path <- cg.cg_path ^ ";" ^ name;
+  cg.cg_cell <- cg_cell_for cg cg.cg_path
+
+let cg_pop cg =
+  match cg.cg_stack with
+  | f :: (_ :: _ as rest) ->
+      cg.cg_stack <- rest;
+      cg.cg_depth <- cg.cg_depth - 1;
+      cg.cg_path <- f.fr_prev_path;
+      cg.cg_cell <- cg_cell_for cg cg.cg_path
+  | _ -> ()  (* the root frame is never popped *)
+
+(* Tail call: the top frame is REPLACED, not pushed over — shadow depth
+   mirrors the machine's O(1)-stack tail calls. *)
+let cg_replace_top cg ~name ~fp =
+  match cg.cg_stack with
+  | f :: (_ :: _ as rest) ->
+      cg.cg_stack <- { fr_name = name; fr_fp = fp; fr_prev_path = f.fr_prev_path } :: rest;
+      cg.cg_path <- f.fr_prev_path ^ ";" ^ name;
+      cg.cg_cell <- cg_cell_for cg cg.cg_path
+  | _ -> cg_push cg ~name ~fp  (* tail call with only the root below: degrade to a push *)
+
+let cg_edge cg ~caller ~callee ~tail =
+  let key = (caller, callee) in
+  let e =
+    match Hashtbl.find_opt cg.cg_edges key with
+    | Some e -> e
+    | None ->
+        let e = { e_calls = 0; e_tcalls = 0 } in
+        Hashtbl.replace cg.cg_edges key e;
+        e
+  in
+  if tail then e.e_tcalls <- e.e_tcalls + 1 else e.e_calls <- e.e_calls + 1
+
+let cg_top_name cg = match cg.cg_stack with f :: _ -> f.fr_name | [] -> cg_root_name
+
+let cg_enter cpu ~entry ~tail =
+  match cpu.callgraph with
+  | None -> ()
+  | Some cg ->
+      let callee = match symbol_at cpu entry with Some s -> s | None -> "?" in
+      cg_edge cg ~caller:(cg_top_name cg) ~callee ~tail;
+      if tail then cg_replace_top cg ~name:callee ~fp:cpu.regs.(Isa.fp)
+      else cg_push cg ~name:callee ~fp:cpu.regs.(Isa.fp)
+
+let shadow_path cpu = match cpu.callgraph with Some cg -> cg.cg_path | None -> ""
+let shadow_depth cpu = match cpu.callgraph with Some cg -> cg.cg_depth | None -> 0
+
+let shadow_depth_high cpu =
+  match cpu.callgraph with Some cg -> cg.cg_depth_high | None -> 0
+
+(* Synthetic frames for host-side boundaries (Rt.call re-entry, native
+   service handlers): they mirror no machine frame of their own, so they
+   inherit the current FP and are popped by truncation, not by RET. *)
+let shadow_push cpu name =
+  match cpu.callgraph with
+  | None -> ()
+  | Some cg -> cg_push cg ~name ~fp:cpu.regs.(Isa.fp)
+
+let shadow_truncate cpu depth =
+  match cpu.callgraph with
+  | None -> ()
+  | Some cg ->
+      while cg.cg_depth > depth && (match cg.cg_stack with _ :: _ :: _ -> true | _ -> false) do
+        cg_pop cg
+      done
+
+(* CATCH/THROW unwind: the machine restored SP/FP/TP/ENV directly from
+   the catch frame without executing the intervening RETs, so pop every
+   shadow frame belonging to an abandoned machine frame (FP strictly
+   above the catch target's FP). *)
+let shadow_unwind_to cpu ~fp =
+  match cpu.callgraph with
+  | None -> ()
+  | Some cg ->
+      let rec go () =
+        match cg.cg_stack with
+        | f :: _ :: _ when f.fr_fp > fp ->
+            cg_pop cg;
+            go ()
+        | _ -> ()
+      in
+      go ()
+
+let shadow_charge_alloc cpu words =
+  match cpu.callgraph with
+  | None -> ()
+  | Some cg -> (
+      match Hashtbl.find_opt cg.cg_alloc cg.cg_path with
+      | Some c -> c := !c + words
+      | None -> Hashtbl.replace cg.cg_alloc cg.cg_path (ref words))
+
+let folded_of tbl =
+  Hashtbl.fold (fun p c acc -> if !c > 0 then (p, !c) :: acc else acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+(* Folded-stack export (flamegraph collapse format): one "path count"
+   line per call path with nonzero exclusive cycles, sorted by path for
+   byte-determinism. *)
+let folded_stacks cpu =
+  match cpu.callgraph with None -> [] | Some cg -> folded_of cg.cg_paths
+
+let folded_alloc cpu =
+  match cpu.callgraph with None -> [] | Some cg -> folded_of cg.cg_alloc
+
+let render_folded cpu =
+  let b = Buffer.create 1024 in
+  List.iter (fun (p, c) -> Buffer.add_string b (Printf.sprintf "%s %d\n" p c)) (folded_stacks cpu);
+  Buffer.contents b
+
+let cg_segments path = String.split_on_char ';' path
+
+(* Inclusive cycles of a function: every path it appears on, counted
+   once per path (mutual recursion repeats names within a path; that
+   still contributes the path's cycles exactly once). *)
+let inclusive_cycles cpu ~name =
+  match cpu.callgraph with
+  | None -> 0
+  | Some cg ->
+      Hashtbl.fold
+        (fun path cell acc ->
+          if !cell > 0 && List.mem name (cg_segments path) then acc + !cell else acc)
+        cg.cg_paths 0
+
+type edge_profile = {
+  ep_caller : string;
+  ep_callee : string;
+  ep_calls : int;
+  ep_tcalls : int;
+  ep_incl_cycles : int;  (* cycles of paths containing the edge *)
+  ep_excl_cycles : int;  (* cycles of paths whose leaf is the edge *)
+}
+
+(* The gprof-style caller->callee table.  Exclusive cycles of an edge
+   are the cycles of paths ending in exactly that edge; inclusive
+   cycles count every path the edge appears on (once per path, even if
+   recursion repeats it). *)
+let call_edges cpu : edge_profile list =
+  match cpu.callgraph with
+  | None -> []
+  | Some cg ->
+      let incl = Hashtbl.create 64 and excl = Hashtbl.create 64 in
+      let add tbl key n =
+        Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      in
+      Hashtbl.iter
+        (fun path cell ->
+          let c = !cell in
+          if c > 0 then begin
+            let segs = cg_segments path in
+            let rec last2 = function
+              | [ a; b ] -> Some (a, b)
+              | _ :: tl -> last2 tl
+              | [] -> None
+            in
+            (match last2 segs with Some e -> add excl e c | None -> ());
+            let rec pairs acc = function
+              | a :: (b :: _ as tl) -> pairs ((a, b) :: acc) tl
+              | _ -> acc
+            in
+            List.iter (fun e -> add incl e c) (List.sort_uniq compare (pairs [] segs))
+          end)
+        cg.cg_paths;
+      Hashtbl.fold
+        (fun (caller, callee) e acc ->
+          {
+            ep_caller = caller;
+            ep_callee = callee;
+            ep_calls = e.e_calls;
+            ep_tcalls = e.e_tcalls;
+            ep_incl_cycles = Option.value ~default:0 (Hashtbl.find_opt incl (caller, callee));
+            ep_excl_cycles = Option.value ~default:0 (Hashtbl.find_opt excl (caller, callee));
+          }
+          :: acc)
+        cg.cg_edges []
+      |> List.sort (fun a b ->
+             match compare b.ep_incl_cycles a.ep_incl_cycles with
+             | 0 -> compare (a.ep_caller, a.ep_callee) (b.ep_caller, b.ep_callee)
+             | n -> n)
+
 type func_profile = {
   f_name : string;
+  f_entry : int;  (** lowest loaded code address of the symbol; max_int for "?" *)
   f_cycles : int;
   f_instructions : int;
   f_movs : int;
@@ -247,11 +521,18 @@ let profile_by_function cpu : func_profile list =
   | None -> []
   | Some p ->
       let by_name : (string, func_profile) Hashtbl.t = Hashtbl.create 32 in
+      let entry_of name =
+        List.fold_left
+          (fun acc (lo, _, n) -> if n = name && lo < acc then lo else acc)
+          max_int cpu.symbols
+      in
       let touch name f =
         let cur =
           match Hashtbl.find_opt by_name name with
           | Some fp -> fp
-          | None -> { f_name = name; f_cycles = 0; f_instructions = 0; f_movs = 0; f_calls = 0 }
+          | None ->
+              { f_name = name; f_entry = entry_of name; f_cycles = 0; f_instructions = 0;
+                f_movs = 0; f_calls = 0 }
         in
         Hashtbl.replace by_name name (f cur)
       in
@@ -273,7 +554,12 @@ let profile_by_function cpu : func_profile list =
           touch name (fun fp -> { fp with f_calls = fp.f_calls + count }))
         p.p_entry_calls;
       Hashtbl.fold (fun _ fp acc -> fp :: acc) by_name []
-      |> List.sort (fun a b -> compare b.f_cycles a.f_cycles)
+      (* ties (equal cycles) break on entry PC, then name, so --profile
+         output is byte-deterministic regardless of hash order *)
+      |> List.sort (fun a b ->
+             match compare b.f_cycles a.f_cycles with
+             | 0 -> compare (a.f_entry, a.f_name) (b.f_entry, b.f_name)
+             | n -> n)
 
 type line_profile = {
   ln_file : string;  (** ["(runtime)"] for unmapped code, ["(no-source)"] for unlocated nodes *)
@@ -317,7 +603,10 @@ let profile_by_line cpu : line_profile list =
         end
       done;
       Hashtbl.fold (fun _ lp acc -> lp :: acc) by_line []
-      |> List.sort (fun a b -> compare b.ln_cycles a.ln_cycles)
+      |> List.sort (fun a b ->
+             match compare b.ln_cycles a.ln_cycles with
+             | 0 -> compare (a.ln_file, a.ln_line) (b.ln_file, b.ln_line)
+             | n -> n)
 
 type node_profile = {
   np_node : int;  (** IR node id; -1 for unmapped code *)
@@ -353,14 +642,18 @@ let profile_by_node cpu : node_profile list =
         end
       done;
       Hashtbl.fold (fun _ np acc -> np :: acc) by_node []
-      |> List.sort (fun a b -> compare b.np_cycles a.np_cycles)
+      |> List.sort (fun a b ->
+             match compare b.np_cycles a.np_cycles with
+             | 0 -> compare a.np_node b.np_node
+             | n -> n)
 
 let opcode_histogram cpu =
   match cpu.profile with
   | None -> []
   | Some p ->
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.p_opcodes []
-      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.sort (fun (ka, a) (kb, b) ->
+             match compare b a with 0 -> compare ka kb | n -> n)
 
 let pp_profile fmt cpu =
   let fns = profile_by_function cpu in
@@ -374,6 +667,17 @@ let pp_profile fmt cpu =
         f.f_instructions f.f_movs f.f_calls)
     fns;
   Format.fprintf fmt "@,%-28s %12d@," "total" total;
+  (match call_edges cpu with
+  | [] -> ()
+  | edges ->
+      Format.fprintf fmt "@,%-40s %8s %8s %12s %12s@," "caller -> callee" "calls" "tcalls"
+        "incl" "excl";
+      List.iter
+        (fun e ->
+          Format.fprintf fmt "%-40s %8d %8d %12d %12d@,"
+            (e.ep_caller ^ " -> " ^ e.ep_callee)
+            e.ep_calls e.ep_tcalls e.ep_incl_cycles e.ep_excl_cycles)
+        edges);
   (match profile_by_line cpu with
   | [] -> ()
   | lines ->
@@ -532,7 +836,8 @@ let do_call cpu fobj nargs ~ret =
       push cpu nargs;
       cpu.regs.(Isa.fp) <- cpu.regs.(Isa.sp);
       (match envw with Some e -> cpu.regs.(Isa.env) <- e | None -> ());
-      cpu.pc <- entry
+      cpu.pc <- entry;
+      cg_enter cpu ~entry ~tail:false
 
 let do_tcall cpu fobj nargs =
   match decode_function cpu fobj with
@@ -572,7 +877,8 @@ let do_tcall cpu fobj nargs =
       cpu.regs.(Isa.sp) <- lk + 4;
       cpu.regs.(Isa.rta) <- nargs;
       (match envw with Some e -> cpu.regs.(Isa.env) <- e | None -> ());
-      cpu.pc <- entry
+      cpu.pc <- entry;
+      cg_enter cpu ~entry ~tail:true
 
 let do_ret cpu =
   let fp = cpu.regs.(Isa.fp) in
@@ -582,7 +888,8 @@ let do_ret cpu =
   cpu.regs.(Isa.env) <- Mem.read cpu.mem (fp - 1);
   cpu.regs.(Isa.tp) <- Mem.read cpu.mem (fp - 2);
   cpu.regs.(Isa.fp) <- Mem.read cpu.mem (fp - 3);
-  cpu.pc <- Word.addr_of ret
+  cpu.pc <- Word.addr_of ret;
+  match cpu.callgraph with Some cg -> cg_pop cg | None -> ()
 
 (* Arithmetic ------------------------------------------------------------ *)
 
@@ -664,6 +971,9 @@ let step cpu =
      vector per-element costs) charges to the fetched PC *)
   let prof_pc = cpu.pc in
   let prof_cycles0 = s.cycles in
+  (* call-path attribution: capture the current path's counter before
+     dispatch, so a CALL's own cycles charge to the caller's path *)
+  let cg_cell0 = match cpu.callgraph with Some cg -> cg.cg_cell | None -> cg_dummy_cell in
   s.instructions <- s.instructions + 1;
   s.cycles <- s.cycles + Isa.base_cycles i;
   let next = cpu.pc + 1 in
@@ -813,6 +1123,14 @@ let step cpu =
       cpu.pc <- next
   | Halt -> cpu.halted <- true
   | Nop -> cpu.pc <- next);
+  (* Charge the cycles this dispatch added, minus anything a nested
+     simulator run (service handler re-entering compiled code) already
+     attributed, to the path that was current at fetch time. *)
+  (match cpu.callgraph with
+  | Some cg ->
+      cg_cell0 := !cg_cell0 + (s.cycles - cg.cg_charged);
+      cg.cg_charged <- s.cycles
+  | None -> ());
   match cpu.profile with
   | None -> ()
   | Some p ->
@@ -848,5 +1166,7 @@ let call_function ?fuel cpu ~fobj ~args =
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "@[<v>cycles:       %d@,instructions: %d@,movs:         %d@,mem traffic:  %d@,\
-     calls:        %d@,tail calls:   %d@,services:     %d@,stack high:   %d@]"
+     calls:        %d@,tail calls:   %d@,services:     %d@,stack high:   %d@,\
+     bind high:    %d@]"
     s.cycles s.instructions s.movs s.mem_traffic s.calls s.tcalls s.svcs s.stack_high
+    s.bind_high

@@ -28,6 +28,10 @@ type stats = {
   mutable tcalls : int;
   mutable svcs : int;
   mutable stack_high : int;  (** high-water mark of SP, words above stack base *)
+  mutable bind_high : int;
+      (** high-water mark of the special-binding (deep-binding) stack,
+          words above bind base — maintained by the runtime's
+          [bind_special] *)
 }
 
 type profile = {
@@ -36,6 +40,30 @@ type profile = {
   mutable p_movs : int array;
   p_opcodes : (string, int) Hashtbl.t;  (** mnemonic -> executions *)
   p_entry_calls : (int, int) Hashtbl.t;  (** entry pc -> CALL/TCALL count *)
+}
+
+type cg_frame = {
+  fr_name : string;
+  fr_fp : int;  (** machine FP of the mirrored frame; [min_int] for the root *)
+  fr_prev_path : string;  (** call path below this frame (O(1) pop) *)
+}
+
+type cg_edge = { mutable e_calls : int; mutable e_tcalls : int }
+
+(** The call-path profiler's state: a shadow call stack mirroring the
+    machine's frame chain (tail calls {e replace} the top frame), with
+    per-call-path exclusive-cycle counters, a caller→callee edge table,
+    and per-path heap-allocation totals.  See {!enable_callgraph}. *)
+type callgraph = {
+  mutable cg_stack : cg_frame list;  (** top first; the root is never popped *)
+  mutable cg_path : string;  (** ";"-joined frame names, root first *)
+  mutable cg_cell : int ref;  (** cached counter of [cg_path] *)
+  mutable cg_charged : int;  (** [stats.cycles] already attributed to a path *)
+  cg_paths : (string, int ref) Hashtbl.t;
+  cg_edges : (string * string, cg_edge) Hashtbl.t;
+  cg_alloc : (string, int ref) Hashtbl.t;
+  mutable cg_depth : int;
+  mutable cg_depth_high : int;
 }
 
 type t = {
@@ -50,6 +78,7 @@ type t = {
   mutable bad_function_svc : int;  (** service invoked by CALL on a non-function *)
   mutable trace : bool;
   mutable profile : profile option;  (** per-PC attribution; None = off (zero cost) *)
+  mutable callgraph : callgraph option;  (** call-path attribution; None = off *)
   mutable symbols : (int * int * string) list;
       (** (lo, hi, name): loaded code ranges, hi exclusive; newest first *)
   mutable mark_segments : (int * int * Asm.mark array) list;
@@ -140,6 +169,7 @@ val symbol_at : t -> int -> string option
 
 type func_profile = {
   f_name : string;
+  f_entry : int;  (** lowest loaded code address of the symbol; [max_int] for "?" *)
   f_cycles : int;
   f_instructions : int;
   f_movs : int;
@@ -147,7 +177,80 @@ type func_profile = {
 }
 
 val profile_by_function : t -> func_profile list
-(** Sorted by cycles, descending; unsymbolized code pools under ["?"]. *)
+(** Sorted by cycles descending, ties broken by entry address then name
+    (byte-deterministic); unsymbolized code pools under ["?"]. *)
+
+(** {1 Call-path profiling}
+
+    With the callgraph enabled, the CALL/TCALL/RET microcode maintains a
+    shadow call stack and {!step} attributes every cycle to the full
+    call path current at fetch time (so a CALL's own cycles charge to
+    the caller).  Invariants:
+
+    - a tail call replaces the top shadow frame: tail recursion adds no
+      shadow depth, mirroring the machine's O(1)-stack tail calls;
+    - a CATCH/THROW unwind pops exactly the shadow frames whose machine
+      FP lies above the catch target ({!shadow_unwind_to});
+    - the exclusive cycles of all paths sum to exactly [stats.cycles]
+      when stats and callgraph were reset together, nested host
+      re-entries included. *)
+
+val enable_callgraph : t -> unit
+val callgraph_on : t -> bool
+
+val reset_callgraph : t -> unit
+(** Fresh attribution tables and a root-only shadow stack (keeps the
+    callgraph enabled).  Only meaningful between toplevel calls. *)
+
+val shadow_path : t -> string
+(** The current call path (";"-joined, root first); [""] when off. *)
+
+val shadow_depth : t -> int
+(** Current shadow-stack depth (the root counts); [0] when off. *)
+
+val shadow_depth_high : t -> int
+
+val shadow_push : t -> string -> unit
+(** Push a synthetic frame for a host-side boundary (native service
+    handler, [Rt.call] re-entry); popped by {!shadow_truncate}, not RET. *)
+
+val shadow_truncate : t -> int -> unit
+(** Pop frames until the depth is back to the given value (the root
+    always survives).  No-op if already at or below it. *)
+
+val shadow_unwind_to : t -> fp:int -> unit
+(** Pop every frame whose machine FP is strictly above [fp] — the
+    CATCH/THROW unwind, which bypasses the RETs of abandoned frames. *)
+
+val shadow_charge_alloc : t -> int -> unit
+(** Attribute heap words to the current call path (wired to the heap's
+    allocation hook by [Rt.create]). *)
+
+val folded_stacks : t -> (string * int) list
+(** Call paths with nonzero exclusive cycles, sorted by path — the
+    flamegraph folded-stack collapse ("f;g;h 1234"). *)
+
+val folded_alloc : t -> (string * int) list
+(** Heap words allocated per call path, sorted by path. *)
+
+val render_folded : t -> string
+(** {!folded_stacks} as newline-terminated "path count" lines. *)
+
+val inclusive_cycles : t -> name:string -> int
+(** Total cycles of paths the function appears on (once per path). *)
+
+type edge_profile = {
+  ep_caller : string;
+  ep_callee : string;
+  ep_calls : int;
+  ep_tcalls : int;
+  ep_incl_cycles : int;  (** cycles of paths containing the edge *)
+  ep_excl_cycles : int;  (** cycles of paths whose leaf is the edge *)
+}
+
+val call_edges : t -> edge_profile list
+(** The gprof-style caller→callee table, sorted by inclusive cycles
+    descending, ties by names (byte-deterministic). *)
 
 (** {1 Provenance}
 

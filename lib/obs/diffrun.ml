@@ -2,8 +2,9 @@
 
     [s1lc --diff-runs A B] loads two files, auto-detects which journal
     each one is — a remarks JSONL ({!Remark.schema_version}), a metrics
-    document ([s1lisp.metrics/*]), or a bench trajectory
-    ([s1lisp.bench/*]) — and reports what changed between the runs:
+    document ([s1lisp.metrics/*]), a bench trajectory ([s1lisp.bench/*]),
+    a trace-event timeline ([s1lisp.events/*]), or a folded-stack export
+    ("path count" lines) — and reports what changed between the runs:
 
     - remarks: appeared/vanished remarks (keyed on kind, pass, rule,
       loc and message; node ids and sequence numbers are run-local and
@@ -16,6 +17,11 @@
       result-value mismatches always regressions.  This replaces the
       old zero-tolerance comparison: counts may drift within the
       threshold without failing CI.
+    - folded stacks: per-call-path exclusive-cycle deltas; growth past
+      the threshold (and the same absolute floor as profile lines) is a
+      regression.
+    - events: per-(category, name) event counts and accumulated
+      durations; duration growth past the threshold is a regression.
 
     The report is deterministic (sorted keys) so it can itself be
     diffed. *)
@@ -24,9 +30,19 @@ module Json = Obs.Json
 
 exception Diff_error of string
 
-type doc = Metrics of Json.t | Remarks of Remark.t list | Bench of Json.t
+type doc =
+  | Metrics of Json.t
+  | Remarks of Remark.t list
+  | Bench of Json.t
+  | Events of Json.t
+  | Folded of (string * int) list
 
-let doc_kind = function Metrics _ -> "metrics" | Remarks _ -> "remarks" | Bench _ -> "bench"
+let doc_kind = function
+  | Metrics _ -> "metrics"
+  | Remarks _ -> "remarks"
+  | Bench _ -> "bench"
+  | Events _ -> "events"
+  | Folded _ -> "folded"
 
 let read_file path =
   match open_in_bin path with
@@ -39,6 +55,31 @@ let read_file path =
 
 let starts_with prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* A folded-stack export is the one schemaless format we accept: every
+   non-empty line must be "call;path count". *)
+let parse_folded (src : string) : (string * int) list option =
+  let lines =
+    String.split_on_char '\n' src |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then None
+  else
+    let parse_line l =
+      match String.rindex_opt l ' ' with
+      | None -> None
+      | Some i -> (
+          let path = String.sub l 0 i in
+          let count = String.sub l (i + 1) (String.length l - i - 1) in
+          if path = "" then None
+          else match int_of_string_opt count with
+               | Some n -> Some (path, n)
+               | None -> None)
+    in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | l :: rest -> ( match parse_line l with Some r -> go (r :: acc) rest | None -> None)
+    in
+    go [] lines
 
 let classify ~path (src : string) : doc =
   (* a remarks journal is JSONL: its first line is a self-contained
@@ -56,15 +97,18 @@ let classify ~path (src : string) : doc =
       try Remarks (Remark.of_jsonl src)
       with Remark.Journal_error m -> raise (Diff_error (path ^ ": " ^ m)))
   | _ -> (
-      let j =
-        try Json.parse (String.trim src)
-        with Json.Parse_error m -> raise (Diff_error (path ^ ": " ^ m))
-      in
-      match Option.bind (Json.member "schema" j) Json.to_str with
-      | Some s when starts_with "s1lisp.metrics/" s -> Metrics j
-      | Some s when starts_with "s1lisp.bench/" s -> Bench j
-      | Some s -> raise (Diff_error (Printf.sprintf "%s: unsupported schema %S" path s))
-      | None -> raise (Diff_error (path ^ ": document has no schema field")))
+      match Json.parse (String.trim src) with
+      | j -> (
+          match Option.bind (Json.member "schema" j) Json.to_str with
+          | Some s when starts_with "s1lisp.metrics/" s -> Metrics j
+          | Some s when starts_with "s1lisp.events/" s -> Events j
+          | Some s when starts_with "s1lisp.bench/" s -> Bench j
+          | Some s -> raise (Diff_error (Printf.sprintf "%s: unsupported schema %S" path s))
+          | None -> raise (Diff_error (path ^ ": document has no schema field")))
+      | exception Json.Parse_error m -> (
+          match parse_folded src with
+          | Some rows -> Folded rows
+          | None -> raise (Diff_error (path ^ ": " ^ m))))
 
 let load path = classify ~path (read_file path)
 
@@ -183,12 +227,40 @@ let diff_int_maps ~label ~threshold ~floor (a : (string * int) list) (b : (strin
         ])
     keys
 
+(* Stack high-water counters gate the diff like cycles do — a deeper
+   control or binding stack is a real regression (lost tail call,
+   runaway rebinding) — with an absolute floor so tiny fluctuation in
+   shallow programs cannot fail a run. *)
+let gated_counters = [ "machine.stack_high"; "machine.bind_high" ]
+let stack_word_floor = 16
+
+let callgraph_edges_of j =
+  match Option.bind (Json.member "callgraph" j) (Json.member "edges") with
+  | Some (Json.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Option.bind (Json.member "caller" row) Json.to_str,
+              Option.bind (Json.member "callee" row) Json.to_str,
+              Option.bind (Json.member "excl_cycles" row) Json.to_int )
+          with
+          | Some caller, Some callee, Some c -> Some (caller ^ " -> " ^ callee, c)
+          | _ -> None)
+        rows
+  | _ -> []
+
 let diff_metrics ~threshold (a : Json.t) (b : Json.t) : report =
+  let gated, plain =
+    let part = List.partition (fun (k, _) -> List.mem k gated_counters) in
+    let ga, pa = part (counters_of a) and gb, pb = part (counters_of b) in
+    ((ga, gb), (pa, pb))
+  in
   let counter_lines =
     (* counters are exact by construction; report every delta but let
-       only cycle-bearing comparisons fail the run *)
-    diff_int_maps ~label:"counter" ~threshold:infinity ~floor:max_int (counters_of a)
-      (counters_of b)
+       only cycle-bearing and stack-growth comparisons fail the run *)
+    diff_int_maps ~label:"counter" ~threshold:infinity ~floor:max_int (fst plain) (snd plain)
+    @ diff_int_maps ~label:"counter" ~threshold ~floor:stack_word_floor (fst gated)
+        (snd gated)
   in
   let cycle_lines =
     match (int_member [ "cpu"; "cycles" ] a, int_member [ "cpu"; "cycles" ] b) with
@@ -205,7 +277,14 @@ let diff_metrics ~threshold (a : Json.t) (b : Json.t) : report =
     diff_int_maps ~label:"line-cycles" ~threshold ~floor:line_cycle_floor
       (profile_lines_of a) (profile_lines_of b)
   in
-  make_report "metrics" (counter_lines @ cycle_lines @ line_lines)
+  let edge_lines =
+    (* a regressed edge: this caller->callee's exclusive cycles grew
+       past the threshold — the call-path profiler's version of a
+       hotter source line *)
+    diff_int_maps ~label:"edge-excl-cycles" ~threshold ~floor:line_cycle_floor
+      (callgraph_edges_of a) (callgraph_edges_of b)
+  in
+  make_report "metrics" (counter_lines @ cycle_lines @ line_lines @ edge_lines)
 
 (* ---- bench ---- *)
 
@@ -264,6 +343,54 @@ let diff_bench ~threshold (a : Json.t) (b : Json.t) : report =
   in
   make_report "bench" lines
 
+(* ---- folded stacks ---- *)
+
+let diff_folded ~threshold (a : (string * int) list) (b : (string * int) list) : report =
+  make_report "folded"
+    (diff_int_maps ~label:"path-cycles" ~threshold ~floor:line_cycle_floor a b)
+
+(* ---- trace events ---- *)
+
+(* Roll a timeline up to (cat/name) -> (occurrences, accumulated dur):
+   individual timestamps shift with any upstream change, but how often
+   each event fires and how long it takes are comparable across runs. *)
+let event_rollup j =
+  let counts = Hashtbl.create 32 and durs = Hashtbl.create 32 in
+  let bump tbl k n =
+    Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  (match Json.member "traceEvents" j with
+  | Some (Json.Arr evs) ->
+      List.iter
+        (fun ev ->
+          match
+            ( Option.bind (Json.member "cat" ev) Json.to_str,
+              Option.bind (Json.member "name" ev) Json.to_str )
+          with
+          | Some cat, Some name ->
+              let k = cat ^ "/" ^ name in
+              bump counts k 1;
+              (match Option.bind (Json.member "dur" ev) Json.to_int with
+              | Some d -> bump durs k d
+              | None -> ())
+          | _ -> ())
+        evs
+  | _ -> ());
+  let to_list tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  (to_list counts, to_list durs)
+
+let diff_events ~threshold (a : Json.t) (b : Json.t) : report =
+  let ca, da = event_rollup a and cb, db = event_rollup b in
+  let count_lines =
+    (* occurrence counts are informational: a new GC or an extra bind is
+       visible, but only accumulated duration growth fails the run *)
+    diff_int_maps ~label:"events" ~threshold:infinity ~floor:max_int ca cb
+  in
+  let dur_lines =
+    diff_int_maps ~label:"event-cycles" ~threshold ~floor:line_cycle_floor da db
+  in
+  make_report "events" (count_lines @ dur_lines)
+
 (* ---- driver ---- *)
 
 let diff ?(threshold = 2.0) (a : doc) (b : doc) : report =
@@ -271,6 +398,8 @@ let diff ?(threshold = 2.0) (a : doc) (b : doc) : report =
   | Remarks ra, Remarks rb -> diff_remarks ra rb
   | Metrics ma, Metrics mb -> diff_metrics ~threshold ma mb
   | Bench ba, Bench bb -> diff_bench ~threshold ba bb
+  | Events ea, Events eb -> diff_events ~threshold ea eb
+  | Folded fa, Folded fb -> diff_folded ~threshold fa fb
   | _ ->
       raise
         (Diff_error

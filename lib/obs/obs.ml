@@ -14,243 +14,10 @@
     are flat names, conventionally dotted ("rule.META-SUBSTITUTE",
     "tn.registers"). *)
 
-(** A minimal JSON tree and printer — enough for a stable metrics schema
-    without an external dependency. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let b = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-
-  let rec write b ~indent ~level (t : t) =
-    let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
-    let sep () = if indent then Buffer.add_char b '\n' in
-    match t with
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (if v then "true" else "false")
-    | Int n -> Buffer.add_string b (string_of_int n)
-    | Float f ->
-        if Float.is_integer f && Float.abs f < 1e15 then
-          Buffer.add_string b (Printf.sprintf "%.1f" f)
-        else Buffer.add_string b (Printf.sprintf "%.17g" f)
-    | Str s ->
-        Buffer.add_char b '"';
-        Buffer.add_string b (escape s);
-        Buffer.add_char b '"'
-    | Arr [] -> Buffer.add_string b "[]"
-    | Arr xs ->
-        Buffer.add_char b '[';
-        sep ();
-        List.iteri
-          (fun i x ->
-            if i > 0 then begin
-              Buffer.add_char b ',';
-              sep ()
-            end;
-            pad (level + 1);
-            write b ~indent ~level:(level + 1) x)
-          xs;
-        sep ();
-        pad level;
-        Buffer.add_char b ']'
-    | Obj [] -> Buffer.add_string b "{}"
-    | Obj kvs ->
-        Buffer.add_char b '{';
-        sep ();
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then begin
-              Buffer.add_char b ',';
-              sep ()
-            end;
-            pad (level + 1);
-            Buffer.add_char b '"';
-            Buffer.add_string b (escape k);
-            Buffer.add_string b (if indent then "\": " else "\":");
-            write b ~indent ~level:(level + 1) v)
-          kvs;
-        sep ();
-        pad level;
-        Buffer.add_char b '}'
-
-  let to_string ?(pretty = true) t =
-    let b = Buffer.create 256 in
-    write b ~indent:pretty ~level:0 t;
-    Buffer.contents b
-
-  (* A parser for the same dialect the printer emits (strict JSON minus
-     exotica we never produce), so trace journals and bench baselines can
-     be read back without an external dependency.  Numbers with '.', 'e'
-     or 'E' become [Float]; everything else becomes [Int]. *)
-  exception Parse_error of string
-
-  let parse (s : string) : t =
-    let pos = ref 0 in
-    let len = String.length s in
-    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < len then s.[!pos] else '\000' in
-    let skip_ws () =
-      while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-        incr pos
-      done
-    in
-    let expect c =
-      if peek () = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
-    in
-    let literal word v =
-      if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
-      then begin
-        pos := !pos + String.length word;
-        v
-      end
-      else fail (Printf.sprintf "expected %s" word)
-    in
-    let parse_string_lit () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec loop () =
-        if !pos >= len then fail "unterminated string"
-        else
-          match s.[!pos] with
-          | '"' -> incr pos
-          | '\\' ->
-              incr pos;
-              if !pos >= len then fail "unterminated escape"
-              else begin
-                (match s.[!pos] with
-                | '"' -> Buffer.add_char b '"'
-                | '\\' -> Buffer.add_char b '\\'
-                | '/' -> Buffer.add_char b '/'
-                | 'n' -> Buffer.add_char b '\n'
-                | 'r' -> Buffer.add_char b '\r'
-                | 't' -> Buffer.add_char b '\t'
-                | 'b' -> Buffer.add_char b '\b'
-                | 'f' -> Buffer.add_char b '\012'
-                | 'u' ->
-                    if !pos + 4 >= len then fail "truncated \\u escape";
-                    let hex = String.sub s (!pos + 1) 4 in
-                    let code =
-                      match int_of_string_opt ("0x" ^ hex) with
-                      | Some c -> c
-                      | None -> fail "bad \\u escape"
-                    in
-                    (* we only ever emit \u00XX for control characters *)
-                    if code < 0x80 then Buffer.add_char b (Char.chr code)
-                    else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
-                    pos := !pos + 4
-                | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
-                incr pos;
-                loop ()
-              end
-          | c ->
-              Buffer.add_char b c;
-              incr pos;
-              loop ()
-      in
-      loop ();
-      Buffer.contents b
-    in
-    let parse_number () =
-      let start = !pos in
-      if peek () = '-' then incr pos;
-      let is_num_char c =
-        (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-'
-      in
-      while !pos < len && is_num_char s.[!pos] do
-        incr pos
-      done;
-      let text = String.sub s start (!pos - start) in
-      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
-        match float_of_string_opt text with
-        | Some f -> Float f
-        | None -> fail "bad number"
-      else
-        match int_of_string_opt text with
-        | Some n -> Int n
-        | None -> fail "bad number"
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | 'n' -> literal "null" Null
-      | 't' -> literal "true" (Bool true)
-      | 'f' -> literal "false" (Bool false)
-      | '"' -> Str (parse_string_lit ())
-      | '[' ->
-          incr pos;
-          skip_ws ();
-          if peek () = ']' then begin
-            incr pos;
-            Arr []
-          end
-          else begin
-            let items = ref [ parse_value () ] in
-            skip_ws ();
-            while peek () = ',' do
-              incr pos;
-              items := parse_value () :: !items;
-              skip_ws ()
-            done;
-            expect ']';
-            Arr (List.rev !items)
-          end
-      | '{' ->
-          incr pos;
-          skip_ws ();
-          if peek () = '}' then begin
-            incr pos;
-            Obj []
-          end
-          else begin
-            let field () =
-              skip_ws ();
-              let k = parse_string_lit () in
-              skip_ws ();
-              expect ':';
-              (k, parse_value ())
-            in
-            let fields = ref [ field () ] in
-            skip_ws ();
-            while peek () = ',' do
-              incr pos;
-              fields := field () :: !fields;
-              skip_ws ()
-            done;
-            expect '}';
-            Obj (List.rev !fields)
-          end
-      | c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
-      | _ -> fail "unexpected character"
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> len then fail "trailing garbage";
-    v
-
-  (* Object field access, for consumers of parsed documents. *)
-  let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
-  let to_int = function Int n -> Some n | _ -> None
-  let to_str = function Str s -> Some s | _ -> None
-end
+(** The JSON tree lives in its own unit ({!Json}) so lower layers can
+    build documents without the counter registry; the alias keeps every
+    historical [Obs.Json] call site compiling. *)
+module Json = Json
 
 type span = {
   sp_path : string;  (** "compile/tnbind" *)
@@ -329,8 +96,12 @@ let with_span ?(t = default) name f =
         sp
   in
   let t0 = now_ns () in
+  (* Only the global registry's spans feed the runtime event timeline;
+     private registries (tests, ad-hoc measurement) stay silent. *)
+  if t == default then Timeline.span_begin path;
   Fun.protect
     ~finally:(fun () ->
+      if t == default then Timeline.span_end path;
       sp.sp_count <- sp.sp_count + 1;
       sp.sp_ns <- sp.sp_ns + (now_ns () - t0);
       t.stack <- List.tl t.stack)
@@ -376,8 +147,12 @@ let pp_counters fmt ?(t = default) () =
    heap.gc.collections, heap.gc.words_swept, heap.gc.pause_cycles,
    heap.certified_escapes, plus dynamic heap.site.<file:line> keys) and
    allows an optional sibling "files" array of per-file counter deltas
-   in batch compilations. *)
-let schema_version = "s1lisp.metrics/3"
+   in batch compilations.  /4 adds the machine-stack counters
+   (machine.calls, machine.tcalls, machine.stack_high,
+   machine.bind_high) to the fixed set and allows an optional sibling
+   "callgraph" object (caller->callee edge table plus per-call-path
+   allocation totals) when the shadow call stack is enabled. *)
+let schema_version = "s1lisp.metrics/4"
 
 let json ?(t = default) () : Json.t =
   Json.Obj

@@ -1,0 +1,111 @@
+(** The runtime event timeline: a chronological journal of discrete
+    runtime events — GC collections, traps, special-variable bind and
+    unbind, CATCH/THROW unwinds — and of compiler pass-phase spans,
+    exported together as one Chrome [trace_event] JSON document
+    ([s1lc --trace-events FILE], schema [s1lisp.events/1]) loadable in
+    [chrome://tracing] / Perfetto.
+
+    {b Clock model.}  Timestamps are {e simulated machine cycles}, read
+    through an injected clock ([set_clock], wired by [Rt.create] to
+    [cpu.stats.cycles]).  The simulator's cycle count is a pure function
+    of the program, so two identical runs produce byte-identical trace
+    files — wall-clock time never appears in an event.  Compiler phases
+    execute on the host, between instructions, so a phase span renders
+    as a zero-or-more-cycle interval at the cycle count where it ran;
+    its wall-clock duration is deliberately left to [--timings].
+
+    {b Call-path context.}  When the CPU's shadow call stack is active,
+    every event also carries the current call path ([set_path_provider],
+    wired to [Cpu.shadow_path]) in its [args], tying timeline events to
+    the flamegraph produced by [--folded].
+
+    Like {!Obs}, the recorder is a process-global singleton, disabled
+    (and free) by default; [s1lc --trace-events] switches it on. *)
+
+type phase =
+  | Instant  (** a point event, trace_event ph ["i"] *)
+  | Complete of int  (** a duration event with cycle length, ph ["X"] *)
+
+type event = {
+  ev_ts : int;  (** cycle-clock timestamp *)
+  ev_cat : string;  (** "gc", "trap", "special", "unwind", "phase" *)
+  ev_name : string;
+  ev_phase : phase;
+  ev_args : (string * Json.t) list;
+}
+
+let schema_version = "s1lisp.events/1"
+
+(* Process-global recorder state. *)
+let enabled_flag = ref false
+let events_rev : event list ref = ref []  (* newest first *)
+let clock : (unit -> int) ref = ref (fun () -> 0)
+let path_provider : (unit -> string) ref = ref (fun () -> "")
+let span_stack : (string * int) list ref = ref []
+
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let reset () =
+  events_rev := [];
+  span_stack := []
+
+let set_clock f = clock := f
+let set_path_provider f = path_provider := f
+let now () = !clock ()
+
+let record ?(args = []) ~cat ~name phase ts =
+  if !enabled_flag then begin
+    let args =
+      match !path_provider () with
+      | "" -> args
+      | p -> args @ [ ("path", Json.Str p) ]
+    in
+    events_rev :=
+      { ev_ts = ts; ev_cat = cat; ev_name = name; ev_phase = phase; ev_args = args }
+      :: !events_rev
+  end
+
+let instant ?args ~cat name = record ?args ~cat ~name Instant (now ())
+
+let complete ?args ~cat ~dur name = record ?args ~cat ~name (Complete dur) (now ())
+
+(* Pass-phase spans, driven by [Obs.with_span] on the global registry.
+   Begin/end pairs are matched on the span path; a mismatched end (the
+   recorder was enabled mid-span) is dropped rather than mispaired. *)
+let span_begin path = if !enabled_flag then span_stack := (path, now ()) :: !span_stack
+
+let span_end path =
+  match !span_stack with
+  | (p, t0) :: rest when p = path ->
+      span_stack := rest;
+      record ~cat:"phase" ~name:path (Complete (now () - t0)) t0
+  | _ -> ()
+
+let events () = List.rev !events_rev
+
+(* Chrome trace_event export: the "JSON object format", with a sibling
+   "schema" key for --diff-runs classification (trace viewers ignore
+   unknown top-level keys).  All events live on pid 1 / tid 1 — there is
+   exactly one simulated processor. *)
+let event_json (e : event) : Json.t =
+  let base =
+    [ ("name", Json.Str e.ev_name); ("cat", Json.Str e.ev_cat); ("ts", Json.Int e.ev_ts) ]
+  in
+  let ph =
+    match e.ev_phase with
+    | Instant -> [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+    | Complete dur -> [ ("ph", Json.Str "X"); ("dur", Json.Int dur) ]
+  in
+  let args = match e.ev_args with [] -> [] | a -> [ ("args", Json.Obj a) ] in
+  Json.Obj (base @ ph @ [ ("pid", Json.Int 1); ("tid", Json.Int 1) ] @ args)
+
+let to_json () : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("displayTimeUnit", Json.Str "ns");
+      ("traceEvents", Json.Arr (List.map event_json (events ())));
+    ]
+
+let to_string () = Json.to_string (to_json ()) ^ "\n"

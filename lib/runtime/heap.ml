@@ -93,6 +93,9 @@ type t = {
   mutable extra_roots : unit -> int list;
   mutable register_roots : unit -> int array;
   mutable stack_tops : unit -> int * int;
+  mutable alloc_hook : int -> unit;
+      (* called with each allocation's total words (header included);
+         wired to the CPU's call-path profiler by Rt.create *)
 }
 
 let create mem =
@@ -106,6 +109,7 @@ let create mem =
     extra_roots = (fun () -> []);
     register_roots = (fun () -> [||]);
     stack_tops = (fun () -> (Mem.stack_base mem, Mem.bind_base mem));
+    alloc_hook = (fun _ -> ());
   }
 
 let stats h = h.stats
@@ -113,6 +117,7 @@ let mem h = h.mem
 let set_extra_roots h f = h.extra_roots <- f
 let set_register_roots h f = h.register_roots <- f
 let set_stack_tops h f = h.stack_tops <- f
+let set_alloc_hook h f = h.alloc_hook <- f
 
 let header_kind h p = kind_of_int (h_kind_int (Mem.read h.mem (p - 1)))
 let payload_size h p = h_size (Mem.read h.mem (p - 1))
@@ -255,9 +260,19 @@ let collect h =
      each walk the heap extent once, so a pause charges two cycles per
      extent word.  Not a measurement — a reproducible attribution, like
      the simulator's instruction timings. *)
+  let swept = max 0 (extent_before - h.stats.live_after_last_gc) in
+  let pause = extent_before * 2 in
   Obs.incr "heap.gc.collections";
-  Obs.incr ~n:(max 0 (extent_before - h.stats.live_after_last_gc)) "heap.gc.words_swept";
-  Obs.incr ~n:(extent_before * 2) "heap.gc.pause_cycles"
+  Obs.incr ~n:swept "heap.gc.words_swept";
+  Obs.incr ~n:pause "heap.gc.pause_cycles";
+  if S1_obs.Timeline.enabled () then
+    S1_obs.Timeline.complete ~cat:"gc" ~dur:pause
+      ~args:
+        [
+          ("words_swept", S1_obs.Json.Int swept);
+          ("live", S1_obs.Json.Int h.stats.live_after_last_gc);
+        ]
+      "collect"
 
 (* Allocation --------------------------------------------------------------- *)
 
@@ -292,6 +307,7 @@ let alloc h kind nwords =
     h.stats.words_allocated <- h.stats.words_allocated + span + 1;
     Obs.incr ("heap.alloc." ^ kind_counter_name kind);
     Obs.incr ~n:(span + 1) "heap.alloc.words";
+    h.alloc_hook (span + 1);
     hdr_addr + 1
   in
   let try_bump () =

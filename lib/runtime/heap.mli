@@ -61,6 +61,11 @@ val set_register_roots : t -> (unit -> int array) -> unit
 val set_stack_tops : t -> (unit -> int * int) -> unit
 (** Returns (SP, SB): current extents of the control and binding stacks. *)
 
+val set_alloc_hook : t -> (int -> unit) -> unit
+(** Called with each allocation's total words (header included); the
+    runtime wires this to the CPU's call-path profiler so allocation
+    volume gains call-path context. *)
+
 exception Heap_exhausted of { requested : int }
 (** Allocation failed even after a full collection.  The service layer
     converts this into a {!S1_machine.Cpu.Trap} so the embedding world

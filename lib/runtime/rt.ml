@@ -117,7 +117,17 @@ let bind_special rt sym value =
   else begin
     Mem.write rt.mem sb sym;
     Mem.write rt.mem (sb + 1) value;
-    Cpu.set_reg rt.cpu Isa.sb (sb + 2)
+    Cpu.set_reg rt.cpu Isa.sb (sb + 2);
+    let depth = sb + 2 - Mem.bind_base rt.mem in
+    if depth > rt.cpu.Cpu.stats.Cpu.bind_high then rt.cpu.Cpu.stats.Cpu.bind_high <- depth;
+    if S1_obs.Timeline.enabled () then
+      S1_obs.Timeline.instant ~cat:"special"
+        ~args:
+          [
+            ("symbol", S1_obs.Json.Str (Obj.symbol_name rt.obj sym));
+            ("depth", S1_obs.Json.Int (depth / 2));
+          ]
+        "bind"
   end
 
 let unbind_specials rt n =
@@ -126,7 +136,15 @@ let unbind_specials rt n =
      the base, in-flight function epilogues still run their paired
      unbinds, which must now be no-ops. *)
   let sb' = max (Mem.bind_base rt.mem) (sb - (2 * n)) in
-  Cpu.set_reg rt.cpu Isa.sb sb'
+  Cpu.set_reg rt.cpu Isa.sb sb';
+  if n > 0 && S1_obs.Timeline.enabled () then
+    S1_obs.Timeline.instant ~cat:"special"
+      ~args:
+        [
+          ("count", S1_obs.Json.Int n);
+          ("depth", S1_obs.Json.Int ((sb' - Mem.bind_base rt.mem) / 2));
+        ]
+      "unbind"
 
 let lookup_special_cell rt sym =
   let base = Mem.bind_base rt.mem in
@@ -185,7 +203,12 @@ let call rt fobj args =
   and saved_tp = Cpu.get_reg cpu Isa.tp
   and saved_env = Cpu.get_reg cpu Isa.env
   and saved_sb = Cpu.get_reg cpu Isa.sb
-  and saved_catches = rt.catches in
+  and saved_catches = rt.catches
+  and saved_shadow = Cpu.shadow_depth cpu in
+  (* A synthetic shadow frame marks the host re-entry, so cycles of the
+     nested run attribute under "(host)" rather than merging into
+     whatever compiled frame happened to be current. *)
+  if Cpu.callgraph_on cpu then Cpu.shadow_push cpu "(host)";
   Fun.protect
     ~finally:(fun () ->
       cpu.Cpu.pc <- saved_pc;
@@ -196,7 +219,11 @@ let call rt fobj args =
       Cpu.set_reg cpu Isa.env saved_env;
       (* popping the bind stack restores the globals under deep binding *)
       Cpu.set_reg cpu Isa.sb (min saved_sb (Cpu.get_reg cpu Isa.sb));
-      rt.catches <- saved_catches)
+      rt.catches <- saved_catches;
+      (* like the register restores: a no-op on a normal return (the RET
+         popped the callee, truncation drops only "(host)"), and the
+         abandoned-frame cleanup when the call died mid-flight *)
+      Cpu.shadow_truncate cpu saved_shadow)
     (fun () -> Cpu.call_function ?fuel:rt.fuel cpu ~fobj ~args)
 
 (* Frame argument access for native handlers. *)
@@ -351,6 +378,14 @@ let do_throw rt tag value =
     | f :: rest -> if f.c_tag = tag then (f, rest) else find rest
   in
   let f, below = find rt.catches in
+  if S1_obs.Timeline.enabled () then
+    S1_obs.Timeline.instant ~cat:"unwind"
+      ~args:
+        [
+          ("tag", S1_obs.Json.Str (print_value rt tag));
+          ("frames_dropped", S1_obs.Json.Int (List.length rt.catches - List.length below - 1));
+        ]
+      "throw";
   if f.c_handler = -1 then raise (Thrown (tag, value))
   else begin
     rt.catches <- below;
@@ -361,10 +396,25 @@ let do_throw rt tag value =
     Cpu.set_reg cpu Isa.env f.c_env;
     Cpu.set_reg cpu Isa.sb f.c_sb;
     Cpu.set_reg cpu Isa.a value;
-    cpu.Cpu.pc <- f.c_handler
+    cpu.Cpu.pc <- f.c_handler;
+    (* the registers were restored without executing the intervening
+       RETs: drop the shadow frames of the abandoned machine frames *)
+    Cpu.shadow_unwind_to cpu ~fp:f.c_fp
   end
 
 (* Service handlers -------------------------------------------------------------- *)
+
+(* Shadow-frame label for a service trap: "*:SQ-CONS" -> "svc:CONS". *)
+let svc_frame_name id =
+  let name = Isa.svc_name id in
+  let name =
+    let prefix = "*:SQ-" in
+    if String.length name > String.length prefix
+       && String.sub name 0 (String.length prefix) = prefix
+    then String.sub name (String.length prefix) (String.length name - String.length prefix)
+    else name
+  in
+  "svc:" ^ name
 
 let r0 rt = Cpu.get_reg rt.cpu 0
 let r1 rt = Cpu.get_reg rt.cpu 1
@@ -535,6 +585,14 @@ let create ?config () =
         List.concat_map (fun f -> [ f.c_tag ]) rt.catches
       in
       catch_words @ rt.protected);
+  (* Observability hooks: the runtime event timeline runs on this
+     world's deterministic cycle clock and labels events with the
+     CPU's current call path; heap allocation volume charges to the
+     allocating call path.  Like the Obs registry, the timeline is
+     process-global — the most recently created world owns the clock. *)
+  S1_obs.Timeline.set_clock (fun () -> cpu.Cpu.stats.Cpu.cycles);
+  S1_obs.Timeline.set_path_provider (fun () -> Cpu.shadow_path cpu);
+  Heap.set_alloc_hook heap (fun words -> Cpu.shadow_charge_alloc cpu words);
   (* Service dispatch *)
   let allocating_svcs =
     [
@@ -553,17 +611,29 @@ let create ?config () =
               Printf.sprintf "heap.site.%s:%d" l.S1_loc.Loc.file l.S1_loc.Loc.line
           | _ -> "heap.site.unattributed");
       match Hashtbl.find_opt handlers id with
-      | Some f -> (
+      | Some f ->
           (* surface runtime-level faults as Lisp error conditions;
              resource exhaustion becomes a machine trap carrying the pc
              and source provenance of the faulting instruction *)
-          try f rt with
-          | Numerics.Not_a_number what -> err "not a number: %s" what
-          | Division_by_zero -> err "division by zero"
-          | Heap.Heap_exhausted { requested } ->
-              Cpu.trap cpu Cpu.Heap_exhaustion
-                "heap exhausted (requested %d words after GC)" requested
-          | Failure msg -> err "%s" msg)
+          let dispatch () =
+            try f rt with
+            | Numerics.Not_a_number what -> err "not a number: %s" what
+            | Division_by_zero -> err "division by zero"
+            | Heap.Heap_exhausted { requested } ->
+                Cpu.trap cpu Cpu.Heap_exhaustion
+                  "heap exhausted (requested %d words after GC)" requested
+            | Failure msg -> err "%s" msg
+          in
+          if Cpu.callgraph_on cpu then begin
+            (* a synthetic shadow frame per service, so host-side work
+               (allocation, generic arithmetic, THROW) carries call-path
+               context; truncation (not a blind pop) keeps this correct
+               even when the handler THROWs to a shallower frame *)
+            let depth = Cpu.shadow_depth cpu in
+            Cpu.shadow_push cpu (svc_frame_name id);
+            Fun.protect ~finally:(fun () -> Cpu.shadow_truncate cpu depth) dispatch
+          end
+          else dispatch ()
       | None -> err "unknown service %s" (Isa.svc_name id));
   cpu.Cpu.bad_function_svc <- Svc.wrong_type_of_function;
   rt

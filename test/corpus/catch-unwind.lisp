@@ -1,0 +1,8 @@
+; THROW across two call frames: H throws out from under G, the CATCH
+; in F catches.  Exercises the non-local exit path (shadow-stack
+; unwind, catch-frame restore) next to a normal return from the same
+; functions.
+(DEFUN H (N) (IF (< N 0) (THROW 'ESC (- 0 N)) (+ N 1)))
+(DEFUN G (N) (+ (H N) 100))
+(DEFUN F (N) (CATCH 'ESC (G N)))
+(+ (F 5) (F -3))

@@ -178,10 +178,12 @@ let test_reset_stats_zeroes_everything () =
     (C.eval_string c
        "(defun factl (n acc) (if (< n 2) acc (factl (- n 1) (* acc n))))");
   let cpu = c.C.rt.Rt.cpu in
+  ignore (C.eval_string c "(defvar *obs-special* 1)");
   Cpu.reset_stats cpu;
   ignore (C.eval_string c "(fact 8)");
   ignore (C.eval_string c "(factl 8 1)");
   ignore (C.eval_string c "(cons 1 2)");
+  ignore (C.eval_string c "(let ((*obs-special* 5)) *obs-special*)");
   let s = cpu.Cpu.stats in
   check_bool "cycles moved" true (s.Cpu.cycles > 0);
   check_bool "instructions moved" true (s.Cpu.instructions > 0);
@@ -191,6 +193,7 @@ let test_reset_stats_zeroes_everything () =
   check_bool "tcalls moved" true (s.Cpu.tcalls > 0);
   check_bool "svcs moved" true (s.Cpu.svcs > 0);
   check_bool "stack_high moved" true (s.Cpu.stack_high > 0);
+  check_bool "bind_high moved" true (s.Cpu.bind_high > 0);
   Cpu.reset_stats cpu;
   let fresh = Cpu.create () in
   check_bool "reset_stats restores the pristine record" true
