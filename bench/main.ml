@@ -711,6 +711,77 @@ let wall_clock () =
     results;
   print_endline "  (the simulator itself is OCaml; both run on the same simulated machine)"
 
+(* ------------------------------------------------------------------ *)
+(* cache=DIR: the compile service, cold vs warm                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Batch-compile the corpus twice through an on-disk image cache rooted
+   at DIR: once cold (compile + serialize + store) and once warm
+   (verified load + replay).  The warm pass must reproduce every image
+   byte-for-byte and every execution cycle-for-cycle — a mismatch exits
+   non-zero.  Wall times are host-clock and the corpus is not a paper
+   experiment, so these rows stay out of [records]. *)
+let serve_cache_bench dir =
+  section "SV: Compile service — cold vs warm batch over the corpus";
+  let module Serve = S1_serve.Serve in
+  let module Cache = S1_serve.Cache in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  let corpus = if Sys.file_exists "corpus" then "corpus" else "test/corpus" in
+  let files =
+    Sys.readdir corpus |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".lisp")
+    |> List.sort compare
+    |> List.map (Filename.concat corpus)
+  in
+  let run () =
+    let cache = Cache.create ~dir () in
+    let t0 = Unix.gettimeofday () in
+    let rs = Serve.batch ~cache Serve.default_cfg files in
+    (rs, Unix.gettimeofday () -. t0)
+  in
+  let cold, cold_wall = run () in
+  let warm, warm_wall = run () in
+  let failures = ref 0 in
+  List.iter2
+    (fun (c : Serve.result) (w : Serve.result) ->
+      let fail fmt =
+        incr failures;
+        Printf.printf fmt c.Serve.r_file
+      in
+      if not w.Serve.r_hit then fail "  MISMATCH %s: warm run missed the cache\n";
+      if c.Serve.r_image <> w.Serve.r_image then
+        fail "  MISMATCH %s: warm image differs from cold image\n";
+      match (c.Serve.r_exec, w.Serve.r_exec) with
+      | Some ce, Some we ->
+          if ce.Serve.e_cycles <> we.Serve.e_cycles then
+            fail "  MISMATCH %s: warm cycle count differs\n";
+          if ce.Serve.e_value <> we.Serve.e_value || ce.Serve.e_output <> we.Serve.e_output
+          then fail "  MISMATCH %s: warm result differs\n"
+      | None, None -> ()
+      | _ -> fail "  MISMATCH %s: cold and warm completion differ\n")
+    cold warm;
+  let hits = List.length (List.filter (fun r -> r.Serve.r_hit) warm) in
+  Printf.printf "  %-34s %10.1f ms  (%d programs compiled + stored)\n" "cold batch"
+    (cold_wall *. 1e3) (List.length files);
+  Printf.printf "  %-34s %10.1f ms  (%d/%d cache hits, %.1fx cold)\n" "warm batch"
+    (warm_wall *. 1e3) hits (List.length files)
+    (cold_wall /. Float.max 1e-9 warm_wall);
+  if !failures = 0 then
+    print_endline
+      "  -> warm images byte-identical, warm executions cycle-identical"
+  else begin
+    Printf.printf "  -> %d mismatches\n" !failures;
+    exit 1
+  end
+
 let smoke_experiments () =
   t1 ();
   x3 ();
@@ -722,11 +793,19 @@ let () =
   let want_wall = Array.exists (fun a -> a = "wall") Sys.argv in
   let smoke = Array.exists (fun a -> a = "smoke") Sys.argv in
   let regression = Array.exists (fun a -> a = "regression-check") Sys.argv in
+  let serve_cache = ref None in
   Array.iter
     (fun a ->
       if String.length a > 7 && String.sub a 0 7 = "folded=" then
-        folded_dir := Some (String.sub a 7 (String.length a - 7)))
+        folded_dir := Some (String.sub a 7 (String.length a - 7));
+      if String.length a > 6 && String.sub a 0 6 = "cache=" then
+        serve_cache := Some (String.sub a 6 (String.length a - 6)))
     Sys.argv;
+  (match !serve_cache with
+  | Some dir ->
+      serve_cache_bench dir;
+      exit 0
+  | None -> ());
   if regression then begin
     smoke_experiments ();
     exit (if regression_check "BENCH_RESULTS.json" then 0 else 1)

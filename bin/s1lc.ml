@@ -39,6 +39,13 @@
                                            asserting rollback + oracle agreement
      s1lc --strict file.lisp               robustness incidents (rollbacks,
                                            verifier failures) become hard errors
+     s1lc --serve-batch a.lisp b.lisp -j 4 --cache-dir .s1c
+                                           compile through the content-addressed
+                                           image cache, 4 domains wide; warm
+                                           runs load serialized images and skip
+                                           every optimization pass
+     s1lc --serve-fuzz 200 --seed 42       fuzz the cache path: cold vs warm
+                                           vs interpreter agreement
      s1lc --no-tnbind --no-pdl ...         flip individual optimizations
                                            (reproduce a fuzz-reported config) *)
 
@@ -159,7 +166,8 @@ let metrics_json ~(cpu : Cpu.t) ~(file_deltas : (string * (string * int) list) l
 
 let run phases listing transcript tns interpret repl stats timings profile metrics trace
     annotate folded trace_events remarks remarks_json diff_runs diff_threshold
-    (rules, options) cse strict fuzz chaos seed fuzz_report evals files =
+    (rules, options) cse strict fuzz chaos seed fuzz_report serve_batch jobs cache_dir
+    cache_capacity serve_out serve_fuzz evals files =
   let module Remark = S1_obs.Remark in
   (* --diff-runs is a separate mode: compare two exported runs, compile
      nothing.  The two positional arguments are the JSON files. *)
@@ -178,6 +186,102 @@ let run phases listing transcript tns interpret repl stats timings profile metri
         Printf.eprintf "s1lc: --diff-runs compares exactly two exported files (got %d)\n"
           (List.length files);
         exit 2
+  end;
+  (* --serve-fuzz exercises the compile service itself: every generated
+     program is compiled twice through a cache (cold, then warm from its
+     own image) and both runs must agree with the interpreter oracle and
+     with each other. *)
+  (match serve_fuzz with
+  | None -> ()
+  | Some count ->
+      let module Serve = S1_serve.Serve in
+      let report = Serve.fuzz ~seed ~count ?cache_dir () in
+      print_string (Serve.fuzz_summary report);
+      exit (if report.Serve.f_failures <> [] then 1 else 0));
+  (* --serve-batch is the compile-service driver: a content-addressed
+     image cache in front of the compiler, -j N domains wide.  Results
+     print in input order whatever the schedule; hit/miss markers go to
+     stderr so stdout carries exactly the programs' output and values. *)
+  if serve_batch then begin
+    let module Serve = S1_serve.Serve in
+    let module Cache = S1_serve.Cache in
+    if files = [] then begin
+      Printf.eprintf "s1lc: --serve-batch needs at least one FILE\n";
+      exit 2
+    end;
+    Obs.reset ();
+    List.iter (Obs.incr ~n:0)
+      [ "serve.hits"; "serve.misses"; "serve.evictions"; "serve.stale";
+        "image.bytes_written"; "image.bytes_read" ];
+    let cache = Cache.create ?dir:cache_dir ~capacity:cache_capacity () in
+    let cfg = { Serve.sv_rules = rules; sv_options = options; sv_cse = cse } in
+    let results = Serve.batch ~cache ~jobs cfg files in
+    (match serve_out with
+    | None -> ()
+    | Some dir ->
+        Cache.ensure_dir dir;
+        List.iter
+          (fun r ->
+            if r.Serve.r_image <> "" then begin
+              let base =
+                Filename.remove_extension (Filename.basename r.Serve.r_file)
+              in
+              let oc = open_out_bin (Filename.concat dir (base ^ ".image")) in
+              output_string oc r.Serve.r_image;
+              close_out oc
+            end)
+          results);
+    let failed = ref false in
+    List.iter
+      (fun r ->
+        Printf.eprintf "%s %s %s\n"
+          (if r.Serve.r_hit then "[hit] " else "[miss]")
+          (if r.Serve.r_key = "" then String.make 12 '-'
+           else String.sub r.Serve.r_key 0 12)
+          r.Serve.r_file;
+        match r.Serve.r_exec with
+        | Some e ->
+            if e.Serve.e_output <> "" then print_string e.Serve.e_output;
+            print_endline e.Serve.e_value
+        | None ->
+            failed := true;
+            Printf.eprintf "s1lc: %s: %s\n" r.Serve.r_file
+              (S1_fuzz.Oracle.outcome_string r.Serve.r_outcome))
+      results;
+    (match metrics with
+    | None -> ()
+    | Some file ->
+        (* the usual metrics document, with a per-input "files" array of
+           key/hit/counter-delta entries instead of CPU statistics (each
+           worker domain ran its own simulator) *)
+        let files_json =
+          ( "files",
+            Json.Arr
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [
+                       ("file", Json.Str r.Serve.r_file);
+                       ("key", Json.Str r.Serve.r_key);
+                       ("hit", Json.Bool r.Serve.r_hit);
+                       ( "counters",
+                         Json.Obj
+                           (List.map
+                              (fun (k, v) -> (k, Json.Int v))
+                              r.Serve.r_counters) );
+                     ])
+                 results) )
+        in
+        let doc =
+          match Obs.json () with
+          | Json.Obj fields -> Json.Obj (fields @ [ files_json ])
+          | other -> other
+        in
+        let oc = open_out file in
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        close_out oc);
+    exit (if !failed then 1 else 0)
   end;
   (* parse --remarks=KINDS before doing any work, so a typo fails fast *)
   let remark_kinds =
@@ -218,7 +322,8 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       "heap.alloc.bignum"; "heap.alloc.closure"; "heap.alloc.vector"; "heap.alloc.words";
       "heap.gc.collections"; "heap.gc.words_swept"; "heap.gc.pause_cycles";
       "heap.certified_escapes"; "machine.calls"; "machine.tcalls"; "machine.stack_high";
-      "machine.bind_high" ];
+      "machine.bind_high"; "serve.hits"; "serve.misses"; "serve.evictions";
+      "serve.stale"; "image.bytes_written"; "image.bytes_read" ];
   Cpu.reset_stats c.C.rt.Rt.cpu;
   (* --annotate needs per-PC cycle counts and the loaded programs *)
   if profile || annotate then Cpu.enable_profile c.C.rt.Rt.cpu;
@@ -368,7 +473,7 @@ let run phases listing transcript tns interpret repl stats timings profile metri
        done
      with Exit | End_of_file -> ())
   end;
-  (* machine-level counters join the metrics schema (s1lisp.metrics/4)
+  (* machine-level counters join the metrics schema (s1lisp.metrics/5)
      after execution, so --timings/--metrics/--diff-runs see them *)
   let () =
     let s = c.C.rt.Rt.cpu.Cpu.stats in
@@ -663,6 +768,58 @@ let fuzz_report =
         ~doc:"Write the fuzz run's findings as JSON (schema s1lisp.fuzz/1) to $(docv); \
               deterministic for a fixed seed and lattice.")
 
+let serve_batch =
+  Arg.(
+    value & flag
+    & info [ "serve-batch" ]
+        ~doc:"Compile the positional FILE arguments through the compile service: a \
+              content-addressed image cache (key = source bytes + optimization-lattice \
+              flags + image schema) in front of the compiler, $(b,-j) domains wide.  \
+              Program output and values print to stdout in input order regardless of \
+              scheduling; [hit]/[miss] markers go to stderr.")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for $(b,--serve-batch).  Output is byte-identical for \
+              any $(docv).")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"On-disk image store for $(b,--serve-batch)/$(b,--serve-fuzz) (created if \
+              missing).  Entries are verified before being served: a corrupt or stale \
+              blob counts as a miss and is deleted.")
+
+let cache_capacity =
+  Arg.(
+    value & opt int S1_serve.Cache.default_capacity
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"In-memory LRU capacity of the image cache (disk entries are unbounded).")
+
+let serve_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve-out" ] ~docv:"DIR"
+        ~doc:"With $(b,--serve-batch): write each input's serialized image (schema \
+              s1lisp.image/1) to $(docv)/<basename>.image.  Images are \
+              byte-deterministic, so two runs over the same sources and flags produce \
+              byte-identical trees — $(b,cmp) them in CI.")
+
+let serve_fuzz =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve-fuzz" ] ~docv:"N"
+        ~doc:"Fuzz the compile service: $(docv) seeded programs (uses $(b,--seed)), each \
+              compiled cold then warm from its own cached image; both runs must agree \
+              with the interpreter oracle and with each other.  Exits non-zero on any \
+              disagreement or failed warm hit.")
+
 let evals =
   Arg.(value & opt_all string [] & info [ "eval"; "e" ] ~docv:"FORM" ~doc:"Evaluate $(docv).")
 
@@ -676,6 +833,7 @@ let cmd =
       const run $ phases $ listing $ transcript $ tns $ interpret $ repl $ stats $ timings
       $ profile $ metrics $ trace $ annotate $ folded $ trace_events $ remarks
       $ remarks_json $ diff_runs $ diff_threshold $ config_term $ cse $ strict $ fuzz
-      $ chaos $ seed $ fuzz_report $ evals $ files)
+      $ chaos $ seed $ fuzz_report $ serve_batch $ jobs $ cache_dir $ cache_capacity
+      $ serve_out $ serve_fuzz $ evals $ files)
 
 let () = exit (Cmd.eval cmd)

@@ -39,10 +39,18 @@ let err fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
    driver logs an incident, and raises in strict mode.  [pass_hook] is
    the chaos fault-injection point for those same passes, called inside
    each guard so injected exceptions exercise the real fallback path. *)
-let on_fallback : (pass:string -> reason:string -> unit) ref =
-  ref (fun ~pass:_ ~reason:_ -> ())
+(* Both hooks are domain-local ([S1_par.Dls]): the driver installs them
+   around a compilation on its own domain, and batch worker domains each
+   start with the inert defaults. *)
+let on_fallback_key : (pass:string -> reason:string -> unit) ref S1_par.Dls.t =
+  S1_par.Dls.create (fun () -> ref (fun ~pass:_ ~reason:_ -> ()))
 
-let pass_hook : (string -> unit) ref = ref (fun _ -> ())
+let on_fallback () = S1_par.Dls.get on_fallback_key
+
+let pass_hook_key : (string -> unit) ref S1_par.Dls.t =
+  S1_par.Dls.create (fun () -> ref (fun _ -> ()))
+
+let pass_hook () = S1_par.Dls.get pass_hook_key
 
 (* The compile-time view of the live Lisp world. *)
 type world = {
@@ -1462,7 +1470,12 @@ let annotate ctx (fn_lam : lam) (body_root : node) =
 (* Function compilation                                                    *)
 (* ----------------------------------------------------------------------- *)
 
-let counter_global = ref 0
+(* The label-prefix well (F~1, F~C2, ...) is domain-local, and
+   [reset_label_counter] re-zeroes it so a hermetic per-file compilation
+   emits the same labels every time — they appear in listings and in
+   serialized images. *)
+let counter_global : int ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref 0)
+let reset_label_counter () = S1_par.Dls.get counter_global := 0
 
 let make_fctx w opt ~prefix ~env_layout ~fixups ~pending ~counter =
   {
@@ -1559,7 +1572,8 @@ let bind_default ctx (p : param) : int =
   end;
   if v.v_special then 1 else 0
 
-let tn_report_buf = Buffer.create 256
+let tn_report_key : Buffer.t S1_par.Dls.t = S1_par.Dls.create (fun () -> Buffer.create 256)
+let tn_report_buf () = S1_par.Dls.get tn_report_key
 
 let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter
     ~origin:(origin_id, origin_loc) (l : lam) : Asm.item list =
@@ -1572,21 +1586,21 @@ let compile_body w opt ~prefix ~name ~env_layout ~fixups ~pending ~counter
         let naive = not opt.use_tnbind in
         try
           let p = Tn.pack ~naive ctx.pool in
-          !pass_hook "tnbind";
+          !(pass_hook ()) "tnbind";
           p
         with e when not naive ->
           (* greedy packing failed: fall back to frame slots for every TN
              still unassigned (pack skips TNs that already have storage,
              so a partial greedy result stays valid) *)
-          !on_fallback ~pass:"tnbind" ~reason:(Printexc.to_string e);
+          !(on_fallback ()) ~pass:"tnbind" ~reason:(Printexc.to_string e);
           Tn.pack ~naive:true ctx.pool)
   in
-  Buffer.add_string tn_report_buf (Printf.sprintf ";;; TN packing for %s:\n" name);
+  Buffer.add_string (tn_report_buf ()) (Printf.sprintf ";;; TN packing for %s:\n" name);
   List.iter
     (fun tn ->
-      Buffer.add_string tn_report_buf (Format.asprintf ";;;   %a\n" Tn.pp_tn tn))
+      Buffer.add_string (tn_report_buf ()) (Format.asprintf ";;;   %a\n" Tn.pp_tn tn))
     (List.sort (fun a b -> compare a.Tn.tn_id b.Tn.tn_id) ctx.pool.Tn.tns);
-  Buffer.add_string tn_report_buf
+  Buffer.add_string (tn_report_buf ())
     (Printf.sprintf ";;;   => %d in registers, %d pointer slots, %d scratch slots\n"
        packing.Tn.r_in_registers packing.Tn.r_pointer_slots packing.Tn.r_scratch_slots);
   Hashtbl.iter
@@ -1758,9 +1772,10 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
   Obs.with_span "codegen" (fun () ->
   match lam_node.kind with
   | Lambda l ->
-      incr counter_global;
-      Buffer.clear tn_report_buf;
-      let prefix = Printf.sprintf "%s~%d" name !counter_global in
+      let cg = S1_par.Dls.get counter_global in
+      incr cg;
+      Buffer.clear (tn_report_buf ());
+      let prefix = Printf.sprintf "%s~%d" name !cg in
       let fixups = ref [] and pending = ref [] and counter = ref 0 in
       let main =
         compile_body w options ~prefix ~name ~env_layout:[] ~fixups ~pending ~counter
@@ -1773,8 +1788,8 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
         | [] -> ()
         | (entry, cl, env_layout, origin) :: rest ->
             pending := rest;
-            incr counter_global;
-            let cprefix = Printf.sprintf "%s~C%d" name !counter_global in
+            incr cg;
+            let cprefix = Printf.sprintf "%s~C%d" name !cg in
             let body =
               compile_body w options ~prefix:cprefix ~name:cl.l_name ~env_layout ~fixups
                 ~pending ~counter ~origin cl
@@ -1792,11 +1807,11 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
         if options.peephole then
           try
             let p = fst (Peephole.run prog) in
-            !pass_hook "peephole";
+            !(pass_hook ()) "peephole";
             p
           with e ->
             (* the unpeepholed program is always a correct fallback *)
-            !on_fallback ~pass:"peephole" ~reason:(Printexc.to_string e);
+            !(on_fallback ()) ~pass:"peephole" ~reason:(Printexc.to_string e);
             prog
         else begin
           S1_obs.Remark.missed ~pass:"peephole" ~rule:"BRANCH-TENSION"
@@ -1820,6 +1835,6 @@ let compile_function (w : world) ?(options = default_options) ~(name : string) (
         c_min_args = nreq;
         c_max_args = nmax;
         c_fixups = !fixups;
-        c_tn_report = Buffer.contents tn_report_buf;
+        c_tn_report = Buffer.contents (tn_report_buf ());
       }
   | _ -> err "compile_function: not a lambda")

@@ -95,6 +95,21 @@ type t = {
       (** keep every loaded program for [s1lc --annotate] *)
   mutable code_log : (string * Asm.program * int) list;
       (** (name, program, org) per loaded unit, newest first *)
+  mutable pass_hook : string -> Node.node -> unit;
+      (** chaos fault-injection point: called with (pass name, tree)
+          after each guarded pass body runs, {e inside} the guard, so
+          injected exceptions and deliberate corruption exercise the same
+          rollback machinery a real pass bug would.  Instance-scoped so
+          concurrent compiler instances (batch workers) cannot bleed
+          hooks into each other. *)
+  mutable world_wrap : Gen.world -> Gen.world;
+      (** interposed on the world handed to the code generator; the
+          compile service wraps it with a recording world that captures
+          the world-reference recipe of each unit for serialization *)
+  mutable unit_filter : name:string -> Gen.compiled -> Gen.compiled;
+      (** interposed on each compiled unit before it is installed; the
+          compile service captures the unit here and returns it with
+          world references resolved against the live world *)
 }
 
 let create ?config ?(options = Gen.default_options) ?(rules = Rules.default_config)
@@ -118,6 +133,9 @@ let create ?config ?(options = Gen.default_options) ?(rules = Rules.default_conf
     locs = None;
     record_code = false;
     code_log = [];
+    pass_hook = (fun _ _ -> ());
+    world_wrap = Fun.id;
+    unit_filter = (fun ~name:_ compiled -> compiled);
   }
 
 let world_of (c : t) : Gen.world =
@@ -152,13 +170,6 @@ let specials_pred (c : t) name =
   | _ -> false
 
 (* Pass isolation ------------------------------------------------------------- *)
-
-(* Chaos fault-injection point: called with (pass name, tree) after each
-   guarded pass body runs, {e inside} the guard, so injected exceptions
-   and deliberate corruption exercise the same rollback machinery a real
-   pass bug would.  Lives here rather than in [lib/fuzz] because the
-   fuzz library sits above this one in the dependency order. *)
-let pass_hook : (string -> Node.node -> unit) ref = ref (fun _ _ -> ())
 
 (* Strip every machine-dependent annotation back to the fully boxed
    baseline: all values tagged POINTERs, no pdl numbers.  This is the
@@ -215,7 +226,7 @@ let guarded (c : t) ~pass ~stage (root : Node.node) (body : unit -> unit) : unit
     match
       Node.with_budget ~pass budget (fun () ->
           body ();
-          !pass_hook pass root);
+          c.pass_hook pass root);
       Verify.run ~stage root
     with
     | [] -> ()
@@ -270,36 +281,12 @@ let run_phases (c : t) (lam_node : Node.node) : Transcript.t =
       Transcript.set_enabled ts was_enabled;
       Transcript.since ts m)
 
-(* Compile a lambda node and install it into the world.  Returns the
-   function word. *)
-let load_lambda (c : t) ~name (lam_node : Node.node) : int =
-  Obs.with_span "compile" (fun () ->
-  (* fill unlocated nodes from their nearest located ancestor so every
-     emitted instruction can resolve to a source line *)
-  Node.propagate_locs lam_node;
-  let ts = run_phases c lam_node in
-  if c.keep_transcript then c.last_transcript <- Some ts;
-  (* after a representation-level rollback the tree is fully boxed; the
-     generator must not open-code prims or stack-allocate numbers on it *)
-  let options =
-    if List.mem "repan" c.unit_disabled || List.mem "pdlnum" c.unit_disabled then
-      { c.options with Gen.inline_prims = false; Gen.pdl_numbers = false }
-    else c.options
-  in
-  (* route in-generator fallbacks (TN packing, peephole) into the same
-     incident log as the tree passes *)
-  let saved_fallback = !Gen.on_fallback in
-  Gen.on_fallback :=
-    (fun ~pass ~reason -> record_incident c ~pass ~reason ~loc:lam_node.Node.n_loc);
-  let compiled =
-    Fun.protect
-      ~finally:(fun () -> Gen.on_fallback := saved_fallback)
-      (fun () -> Gen.compile_function (world_of c) ~options ~name lam_node)
-  in
-  if c.keep_transcript then begin
-    c.last_listing <- Some (Asm.listing compiled.Gen.c_prog);
-    c.last_tn_report <- Some compiled.Gen.c_tn_report
-  end;
+(* Install an already-generated unit into the live world: load the code,
+   build the function object, and patch nested-closure cells.  Returns
+   the function word.  The program must contain only live-world operands
+   (label operands aside) — the compile service resolves its serialized
+   world references before calling this. *)
+let install_compiled (c : t) ~name (compiled : Gen.compiled) : int =
   let code_lo = c.rt.Rt.cpu.Cpu.code_len in
   let image = Obs.with_span "load" (fun () -> Cpu.load c.rt.Rt.cpu compiled.Gen.c_prog) in
   if c.record_code then c.code_log <- (name, compiled.Gen.c_prog, code_lo) :: c.code_log;
@@ -323,7 +310,41 @@ let load_lambda (c : t) ~name (lam_node : Node.node) : int =
       in
       Mem.write c.rt.Rt.mem cell cobj)
     compiled.Gen.c_fixups;
-  fobj)
+  fobj
+
+(* Compile a lambda node and install it into the world.  Returns the
+   function word. *)
+let load_lambda (c : t) ~name (lam_node : Node.node) : int =
+  Obs.with_span "compile" (fun () ->
+  (* fill unlocated nodes from their nearest located ancestor so every
+     emitted instruction can resolve to a source line *)
+  Node.propagate_locs lam_node;
+  let ts = run_phases c lam_node in
+  if c.keep_transcript then c.last_transcript <- Some ts;
+  (* after a representation-level rollback the tree is fully boxed; the
+     generator must not open-code prims or stack-allocate numbers on it *)
+  let options =
+    if List.mem "repan" c.unit_disabled || List.mem "pdlnum" c.unit_disabled then
+      { c.options with Gen.inline_prims = false; Gen.pdl_numbers = false }
+    else c.options
+  in
+  (* route in-generator fallbacks (TN packing, peephole) into the same
+     incident log as the tree passes *)
+  let fallback = Gen.on_fallback () in
+  let saved_fallback = !fallback in
+  fallback :=
+    (fun ~pass ~reason -> record_incident c ~pass ~reason ~loc:lam_node.Node.n_loc);
+  let compiled =
+    Fun.protect
+      ~finally:(fun () -> fallback := saved_fallback)
+      (fun () -> Gen.compile_function (c.world_wrap (world_of c)) ~options ~name lam_node)
+  in
+  let compiled = c.unit_filter ~name compiled in
+  if c.keep_transcript then begin
+    c.last_listing <- Some (Asm.listing compiled.Gen.c_prog);
+    c.last_tn_report <- Some compiled.Gen.c_tn_report
+  end;
+  install_compiled c ~name compiled)
 
 (* Top-level form processing -------------------------------------------------- *)
 

@@ -27,30 +27,41 @@ let err fmt =
    expander over the raw argument forms.  Installed for the extent of an
    expansion via {!with_macros}; the expander itself is typically a
    compiled Lisp function called through the runtime. *)
-let current_macros : (string -> (Sexp.t list -> Sexp.t) option) ref = ref (fun _ -> None)
+(* Domain-local (see [S1_par.Dls]): the dynamic extent never crosses a
+   domain, and batch workers must not see each other's tables. *)
+let current_macros : (string -> (Sexp.t list -> Sexp.t) option) ref S1_par.Dls.t =
+  S1_par.Dls.create (fun () -> ref (fun _ -> None))
 
 let with_macros macros f =
-  let saved = !current_macros in
-  current_macros := macros;
-  Fun.protect ~finally:(fun () -> current_macros := saved) f
+  let cm = S1_par.Dls.get current_macros in
+  let saved = !cm in
+  cm := macros;
+  Fun.protect ~finally:(fun () -> cm := saved) f
 
 (* Provenance: called as [!loc_hook original expansion] whenever [expand]
    returns a form physically distinct from its input, so a located reader
    table can propagate the original's source position onto the expansion.
    Installed (with {!with_macros}-style dynamic extent) by the converter
    when it has a location table; a no-op otherwise. *)
-let loc_hook : (Sexp.t -> Sexp.t -> unit) ref = ref (fun _ _ -> ())
+let loc_hook : (Sexp.t -> Sexp.t -> unit) ref S1_par.Dls.t =
+  S1_par.Dls.create (fun () -> ref (fun _ _ -> ()))
 
 let with_loc_hook hook f =
-  let saved = !loc_hook in
-  loc_hook := hook;
-  Fun.protect ~finally:(fun () -> loc_hook := saved) f
+  let lh = S1_par.Dls.get loc_hook in
+  let saved = !lh in
+  lh := hook;
+  Fun.protect ~finally:(fun () -> lh := saved) f
 
-let gensym_counter = ref 0
+(* Domain-local, and re-zeroed by [reset_gensym] for hermetic per-file
+   compilation: generated names land in listings and serialized images,
+   so deterministic output needs a deterministic well. *)
+let gensym_counter : int ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref 0)
+let reset_gensym () = S1_par.Dls.get gensym_counter := 0
 
 let gensym prefix =
-  incr gensym_counter;
-  Printf.sprintf "%%%s-%d" prefix !gensym_counter
+  let gc = S1_par.Dls.get gensym_counter in
+  incr gc;
+  Printf.sprintf "%%%s-%d" prefix !gc
 
 let sym s = Sexp.Sym s
 let list l = Sexp.List l
@@ -72,7 +83,7 @@ let rec expand (s : Sexp.t) : Sexp.t =
     | Sexp.List (f :: args) -> list (expand f :: List.map expand args)
     | _ -> s
   in
-  if result != s then !loc_hook s result;
+  if result != s then !(S1_par.Dls.get loc_hook) s result;
   result
 
 and expand_body body =
@@ -211,7 +222,7 @@ and expand_form head rest original =
   | "UNQUOTE", _ | "UNQUOTE-SPLICING", _ -> err "comma outside backquote"
   | "DEFUN", _ -> err "DEFUN is only legal at top level"
   | _, args -> (
-      match !current_macros head with
+      match !(S1_par.Dls.get current_macros) head with
       | Some expander -> expand (expander args)
       | None -> list (sym head :: List.map expand args))
 

@@ -93,15 +93,14 @@ let eval_structured (c : C.t) (forms : Sexp.t list) : Oracle.outcome * string op
       let what = Printexc.to_string e in
       (Oracle.Crash what, Some what)
 
-let with_hooks ~tree ~gen f =
-  let saved_tree = !C.pass_hook and saved_gen = !GenO.pass_hook in
-  C.pass_hook := tree;
-  GenO.pass_hook := gen;
-  Fun.protect
-    ~finally:(fun () ->
-      C.pass_hook := saved_tree;
-      GenO.pass_hook := saved_gen)
-    f
+(* The tree hook is instance-scoped (set on the compiler under test);
+   only the generator's domain-local hook needs dynamic-extent scoping
+   here. *)
+let with_gen_hook ~gen f =
+  let h = GenO.pass_hook () in
+  let saved_gen = !h in
+  h := gen;
+  Fun.protect ~finally:(fun () -> h := saved_gen) f
 
 (* Verifier-detectable damage: a duplicated subtree (unique-id violation)
    for the structural stages, an uncoercible ISREP/WANTREP pair for the
@@ -156,11 +155,12 @@ let check_one ~(fault : fault) (forms : Sexp.t list) : string list =
       in
       let before = Obs.count "robust.pass_rollback" in
       let compiled, unstructured =
-        with_hooks ~tree ~gen (fun () ->
+        with_gen_hook ~gen (fun () ->
             let c =
               C.create ~options:cfg.Oracle.cfg_options ~rules:cfg.Oracle.cfg_rules
                 ~cse:cfg.Oracle.cfg_cse ()
             in
+            c.C.pass_hook <- tree;
             c.C.rt.Rt.fuel <- Some Oracle.fuzz_fuel;
             eval_structured c forms)
       in

@@ -56,10 +56,12 @@ type t = {
 
 let svc_interp = Isa.register_svc "*:SQ-INTERP-TRAMPOLINE"
 
-(* One interpreter per runtime, found by physical identity. *)
-let instances : (Rt.t * t) list ref = ref []
+(* One interpreter per runtime, found by physical identity.  The table
+   is domain-local: a runtime never migrates between domains, and batch
+   worker domains must not retain (or scan) each other's worlds. *)
+let instances : (Rt.t * t) list ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref [])
 
-let find_instance rt = List.find_opt (fun (r, _) -> r == rt) !instances
+let find_instance rt = List.find_opt (fun (r, _) -> r == rt) !(S1_par.Dls.get instances)
 
 let create rt =
   match find_instance rt with
@@ -77,7 +79,8 @@ let create rt =
         { rt; consts = Hashtbl.create 64; closures = [||]; n_closures = 0; trampoline;
           fuel = -1 }
       in
-      instances := (rt, it) :: !instances;
+      let tbl = S1_par.Dls.get instances in
+      tbl := (rt, it) :: !tbl;
       (* Root the constant cache, all captured environments, catch tags,
          and the runtime's protected list. *)
       Heap.set_extra_roots rt.Rt.heap (fun () ->
@@ -328,7 +331,8 @@ let release it =
      fuzzer boots thousands): the instance table would otherwise retain
      every runtime — simulated memory included — for the process
      lifetime. *)
-  instances := List.filter (fun (r, _) -> r != it.rt) !instances
+  let tbl = S1_par.Dls.get instances in
+  tbl := List.filter (fun (r, _) -> r != it.rt) !tbl
 
 let eval_node it node =
   try eval it [] node with

@@ -19,11 +19,15 @@ let fresh_var env v =
 
 let lookup_var env v = match Hashtbl.find_opt env.vars v.v_id with Some v' -> v' | None -> v
 
-let tag_counter = ref 0
+(* Domain-local like the node-id wells; [reset_counter] re-zeroes it for
+   hermetic per-file compilation (see [Node.reset_counters]). *)
+let tag_counter : int ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref 0)
+let reset_counter () = S1_par.Dls.get tag_counter := 0
 
 let fresh_tag env t =
-  incr tag_counter;
-  let t' = Printf.sprintf "%s~%d" t !tag_counter in
+  let tc = S1_par.Dls.get tag_counter in
+  incr tc;
+  let t' = Printf.sprintf "%s~%d" t !tc in
   env.tags <- (t, t') :: env.tags;
   t'
 
@@ -33,7 +37,7 @@ let lookup_tag env t = match List.assoc_opt t env.tags with Some t' -> t' | None
    position instead of being stamped with the current origin, so a tree
    restored from a checkpoint reports the same provenance as the one the
    failed pass destroyed. *)
-let snapshot_mode = ref false
+let snapshot_mode : bool ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref false)
 
 let rec copy_with env n =
   let go = copy_with env in
@@ -82,10 +86,12 @@ let rec copy_with env n =
     | Go t -> Go (lookup_tag env t)
     | Return e -> Return (go e)
   in
-  if !snapshot_mode then with_origin n.n_loc (fun () -> mk kind) else mk kind
+  if !(S1_par.Dls.get snapshot_mode) then with_origin n.n_loc (fun () -> mk kind)
+  else mk kind
 
 let copy n = copy_with { vars = Hashtbl.create 16; tags = [] } n
 
 let snapshot n =
-  snapshot_mode := true;
-  Fun.protect ~finally:(fun () -> snapshot_mode := false) (fun () -> copy n)
+  let mode = S1_par.Dls.get snapshot_mode in
+  mode := true;
+  Fun.protect ~finally:(fun () -> mode := false) (fun () -> copy n)

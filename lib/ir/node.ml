@@ -157,24 +157,44 @@ and pb_item = Ptag of string | Pstmt of node
     - [Toplevel]: a DEFUN body with the standard checked linkage. *)
 and strategy = Unknown | Open | Jump | Fast | Full_closure | Toplevel
 
-let next_id = ref 0
-let next_var_id = ref 0
-let next_pb_id = ref 0
+(* The id wells and the dynamically scoped origin/budget are domain-local
+   so concurrent batch compilations ([lib/serve]) draw from independent
+   wells; [reset_counters] re-zeroes the current domain's wells so a
+   hermetic per-file compilation numbers its nodes deterministically
+   regardless of what compiled before it. *)
+type counters = {
+  mutable ct_node : int;
+  mutable ct_var : int;
+  mutable ct_pb : int;
+  mutable ct_origin : S1_loc.Loc.t option;
+  mutable ct_budget : (string * int * int ref) option;
+}
+
+let counters_key : counters S1_par.Dls.t =
+  S1_par.Dls.create (fun () ->
+      { ct_node = 0; ct_var = 0; ct_pb = 0; ct_origin = None; ct_budget = None })
+
+let ctrs () = S1_par.Dls.get counters_key
+
+let reset_counters () =
+  let c = ctrs () in
+  c.ct_node <- 0;
+  c.ct_var <- 0;
+  c.ct_pb <- 0
 
 (* The provenance origin in dynamic scope: [mk] stamps every fresh node
    with it, so nodes created during conversion carry the source position
    of the form being converted, and nodes created by the optimizer carry
    the position of the form being rewritten (the transform driver keeps
    it pointed at the rewrite site). *)
-let current_origin : S1_loc.Loc.t option ref = ref None
-
-let set_origin l = current_origin := l
-let origin () = !current_origin
+let set_origin l = (ctrs ()).ct_origin <- l
+let origin () = (ctrs ()).ct_origin
 
 let with_origin l f =
-  let saved = !current_origin in
-  current_origin := l;
-  Fun.protect ~finally:(fun () -> current_origin := saved) f
+  let c = ctrs () in
+  let saved = c.ct_origin in
+  c.ct_origin <- l;
+  Fun.protect ~finally:(fun () -> c.ct_origin <- saved) f
 
 (* Node-construction budget: a runaway pass (a rewrite loop that grows
    the tree instead of reducing it) is stopped by bounding how many nodes
@@ -183,27 +203,27 @@ let with_origin l f =
    check's bookkeeping semantics; [None] means unlimited. *)
 exception Budget_exhausted of { pass : string; budget : int }
 
-let budget : (string * int * int ref) option ref = ref None
-
 let with_budget ~pass n f =
-  let saved = !budget in
-  budget := Some (pass, n, ref n);
-  Fun.protect ~finally:(fun () -> budget := saved) f
+  let c = ctrs () in
+  let saved = c.ct_budget in
+  c.ct_budget <- Some (pass, n, ref n);
+  Fun.protect ~finally:(fun () -> c.ct_budget <- saved) f
 
 let charge_budget () =
-  match !budget with
+  match (ctrs ()).ct_budget with
   | None -> ()
   | Some (pass, total, left) ->
       decr left;
       if !left < 0 then raise (Budget_exhausted { pass; budget = total })
 
 let mk kind =
+  let c = ctrs () in
   charge_budget ();
-  incr next_id;
+  c.ct_node <- c.ct_node + 1;
   {
-    n_id = !next_id;
+    n_id = c.ct_node;
     kind;
-    n_loc = !current_origin;
+    n_loc = c.ct_origin;
     n_free = [];
     n_written = [];
     n_effects = no_effects;
@@ -220,10 +240,11 @@ let mk kind =
   }
 
 let mkvar ?(special = false) name =
-  incr next_var_id;
+  let c = ctrs () in
+  c.ct_var <- c.ct_var + 1;
   {
     v_name = name;
-    v_id = !next_var_id;
+    v_id = c.ct_var;
     v_special = special;
     v_binder = None;
     v_refs = [];
@@ -236,8 +257,9 @@ let mkvar ?(special = false) name =
   }
 
 let mk_pb items =
-  incr next_pb_id;
-  { pb_uid = !next_pb_id; pb_items = items }
+  let c = ctrs () in
+  c.ct_pb <- c.ct_pb + 1;
+  { pb_uid = c.ct_pb; pb_items = items }
 
 (* Constructors --------------------------------------------------------- *)
 

@@ -163,6 +163,12 @@ val mnemonic : instr -> string
 (** Opcode-family name ("MOV", "FADD.S", "%CALL", ...) — the profiler's
     opcode-histogram bucket. *)
 
+val binop_name : binop -> string
+val unop_name : unop -> string
+val width_name : width -> string
+(** Stable sub-opcode names ("DIV.F", "FIX.T", ...): listing syntax and
+    the serialized image format both key on them. *)
+
 (** {1 Printing} *)
 
 val pp_operand : Format.formatter -> operand -> unit

@@ -12,15 +12,17 @@ let default_config =
 
 type t = { id : int; cfg : config; words : int array; mutable static_next : int }
 
-let next_id = ref 0
+(* Atomic: memories are created from concurrent batch worker domains,
+   and the id only needs to be unique, not dense. *)
+let next_id = Atomic.make 0
 
 let create ?(config = default_config) () =
   let total =
     config.sq_words + config.static_words + config.heap_words + config.stack_words
     + config.bind_words
   in
-  incr next_id;
-  { id = !next_id; cfg = config; words = Array.make total 0; static_next = config.sq_words }
+  let id = Atomic.fetch_and_add next_id 1 + 1 in
+  { id; cfg = config; words = Array.make total 0; static_next = config.sq_words }
 
 let config m = m.cfg
 let id m = m.id

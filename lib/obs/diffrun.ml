@@ -234,6 +234,15 @@ let diff_int_maps ~label ~threshold ~floor (a : (string * int) list) (b : (strin
 let gated_counters = [ "machine.stack_high"; "machine.bind_high" ]
 let stack_word_floor = 16
 
+(* Compile-service counters gate too: between comparable runs, new
+   cache misses or any stale blob mean content addressing stopped
+   holding, and serialized-image growth past the threshold means the
+   compiled programs themselves got bigger. *)
+let serve_gated_counters = [ "serve.misses"; "serve.stale" ]
+let serve_miss_floor = 1
+let image_gated_counters = [ "image.bytes_written" ]
+let image_byte_floor = 4096
+
 let callgraph_edges_of j =
   match Option.bind (Json.member "callgraph" j) (Json.member "edges") with
   | Some (Json.Arr rows) ->
@@ -250,17 +259,31 @@ let callgraph_edges_of j =
   | _ -> []
 
 let diff_metrics ~threshold (a : Json.t) (b : Json.t) : report =
-  let gated, plain =
-    let part = List.partition (fun (k, _) -> List.mem k gated_counters) in
-    let ga, pa = part (counters_of a) and gb, pb = part (counters_of b) in
-    ((ga, gb), (pa, pb))
+  let split cs =
+    let stack, rest = List.partition (fun (k, _) -> List.mem k gated_counters) cs in
+    let serve, rest =
+      List.partition (fun (k, _) -> List.mem k serve_gated_counters) rest
+    in
+    let image, plain =
+      List.partition (fun (k, _) -> List.mem k image_gated_counters) rest
+    in
+    (stack, serve, image, plain)
   in
+  let sa, va, ia, pa = split (counters_of a) in
+  let sb, vb, ib, pb = split (counters_of b) in
   let counter_lines =
     (* counters are exact by construction; report every delta but let
-       only cycle-bearing and stack-growth comparisons fail the run *)
-    diff_int_maps ~label:"counter" ~threshold:infinity ~floor:max_int (fst plain) (snd plain)
-    @ diff_int_maps ~label:"counter" ~threshold ~floor:stack_word_floor (fst gated)
-        (snd gated)
+       only cycle-bearing, stack-growth, and cache-effectiveness
+       comparisons fail the run *)
+    diff_int_maps ~label:"counter" ~threshold:infinity ~floor:max_int pa pb
+    @ diff_int_maps ~label:"counter" ~threshold ~floor:stack_word_floor sa sb
+    (* a healthy warm run has zero misses and zero stale blobs, and
+       growth from a zero baseline never clears a percentage threshold,
+       so the cache-effectiveness family gates on the absolute floor
+       alone *)
+    @ diff_int_maps ~label:"counter" ~threshold:neg_infinity
+        ~floor:serve_miss_floor va vb
+    @ diff_int_maps ~label:"counter" ~threshold ~floor:image_byte_floor ia ib
   in
   let cycle_lines =
     match (int_member [ "cpu"; "cycles" ] a, int_member [ "cpu"; "cycles" ] b) with

@@ -2,11 +2,13 @@
     JSON export of both — the measurement layer under [s1lc --timings],
     [--metrics], and the bench trajectory ([BENCH_RESULTS.json]).
 
-    The registry is a process-global singleton: the compiler phases are
-    single-threaded and compilation units are measured one at a time, so
-    a global keeps the instrumentation call sites down to one line
-    ([Obs.incr], [Obs.with_span]).  [reset] returns it to empty; callers
-    that want per-unit numbers reset around the unit of interest.
+    The registry is a domain-local singleton: the compiler phases are
+    single-threaded within a domain and compilation units are measured
+    one at a time, so a per-domain default keeps the instrumentation
+    call sites down to one line ([Obs.incr], [Obs.with_span]) while the
+    batch compile service runs one compilation per worker domain.
+    [reset] returns the current domain's registry to empty; callers that
+    want per-unit numbers reset around the unit of interest.
 
     Spans nest: [with_span "compile" (fun () -> with_span "tnbind" f)]
     records both ["compile"] and ["compile/tnbind"], keyed by path, each
@@ -36,10 +38,14 @@ type t = {
 let create () =
   { counters = Hashtbl.create 64; spans = Hashtbl.create 32; span_order = []; stack = [] }
 
-(* The process-global registry all instrumentation points use. *)
-let default : t = create ()
+(* The registry all instrumentation points use: one per domain, so batch
+   workers ([lib/serve]) measure their own compilations without
+   interleaving.  On the main domain this is the same process-global
+   singleton it always was. *)
+let default_key : t S1_par.Dls.t = S1_par.Dls.create create
+let default () = S1_par.Dls.get default_key
 
-let reset ?(t = default) () =
+let reset ?(t = default ()) () =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.spans;
   t.span_order <- [];
@@ -51,15 +57,15 @@ let reset ?(t = default) () =
    else the module may grow; the clock itself is monotonic ns. *)
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
-let incr ?(t = default) ?(n = 1) name =
+let incr ?(t = default ()) ?(n = 1) name =
   match Hashtbl.find_opt t.counters name with
   | Some r -> r := !r + n
   | None -> Hashtbl.replace t.counters name (ref n)
 
-let count ?(t = default) name =
+let count ?(t = default ()) name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-let counters ?(t = default) () =
+let counters ?(t = default ()) () =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -72,9 +78,9 @@ let counters ?(t = default) () =
 
 type snapshot = (string * int) list
 
-let snapshot ?(t = default) () : snapshot = counters ~t ()
+let snapshot ?(t = default ()) () : snapshot = counters ~t ()
 
-let diff ~(before : snapshot) ?(t = default) () : snapshot =
+let diff ~(before : snapshot) ?(t = default ()) () : snapshot =
   List.filter_map
     (fun (name, after) ->
       let prior = match List.assoc_opt name before with Some v -> v | None -> 0 in
@@ -83,7 +89,7 @@ let diff ~(before : snapshot) ?(t = default) () : snapshot =
 
 let current_path t = String.concat "/" (List.rev t.stack)
 
-let with_span ?(t = default) name f =
+let with_span ?(t = default ()) name f =
   t.stack <- name :: t.stack;
   let path = current_path t in
   let sp =
@@ -98,24 +104,24 @@ let with_span ?(t = default) name f =
   let t0 = now_ns () in
   (* Only the global registry's spans feed the runtime event timeline;
      private registries (tests, ad-hoc measurement) stay silent. *)
-  if t == default then Timeline.span_begin path;
+  if t == default () then Timeline.span_begin path;
   Fun.protect
     ~finally:(fun () ->
-      if t == default then Timeline.span_end path;
+      if t == default () then Timeline.span_end path;
       sp.sp_count <- sp.sp_count + 1;
       sp.sp_ns <- sp.sp_ns + (now_ns () - t0);
       t.stack <- List.tl t.stack)
     f
 
-let spans ?(t = default) () =
+let spans ?(t = default ()) () =
   List.rev_map (fun path -> Hashtbl.find t.spans path) t.span_order
 
-let span_ns ?(t = default) path =
+let span_ns ?(t = default ()) path =
   match Hashtbl.find_opt t.spans path with Some sp -> sp.sp_ns | None -> 0
 
 (* Rendering ------------------------------------------------------------------ *)
 
-let pp_timings fmt ?(t = default) () =
+let pp_timings fmt ?(t = default ()) () =
   let sps = spans ~t () in
   if sps = [] then Format.fprintf fmt "(no phase timings recorded)@."
   else begin
@@ -134,7 +140,7 @@ let pp_timings fmt ?(t = default) () =
     Format.fprintf fmt "@]"
   end
 
-let pp_counters fmt ?(t = default) () =
+let pp_counters fmt ?(t = default ()) () =
   List.iter (fun (k, v) -> Format.fprintf fmt "%-46s %10d@." k v) (counters ~t ())
 
 (* The stable metrics schema: {"schema": "...", "spans": [...],
@@ -151,10 +157,13 @@ let pp_counters fmt ?(t = default) () =
    (machine.calls, machine.tcalls, machine.stack_high,
    machine.bind_high) to the fixed set and allows an optional sibling
    "callgraph" object (caller->callee edge table plus per-call-path
-   allocation totals) when the shadow call stack is enabled. *)
-let schema_version = "s1lisp.metrics/4"
+   allocation totals) when the shadow call stack is enabled.  /5 adds
+   the compile-service counters (serve.hits, serve.misses,
+   serve.evictions, serve.stale, image.bytes_written, image.bytes_read)
+   to the fixed set. *)
+let schema_version = "s1lisp.metrics/5"
 
-let json ?(t = default) () : Json.t =
+let json ?(t = default ()) () : Json.t =
   Json.Obj
     [
       ("schema", Json.Str schema_version);

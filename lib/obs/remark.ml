@@ -14,7 +14,7 @@
       interposed, a duplication avoided by thunk introduction, a pass
       rollback).
 
-    The registry is a process-global singleton like {!Obs}, disabled by
+    The registry is a domain-local singleton like {!Obs}, disabled by
     default so the hot paths pay one boolean test; [s1lc --remarks] and
     the tests enable it around the unit of interest.  Remarks are
     deduplicated on their full identity (kind, pass, rule, node, loc,
@@ -59,19 +59,29 @@ type t = {
   r_args : (string * value) list;
 }
 
-(* The process-global registry. *)
-let enabled_flag = ref false
-let items : t list ref = ref []  (* newest first *)
-let next_seq = ref 0
-let seen : (string, unit) Hashtbl.t = Hashtbl.create 64
+(* The registry: one per domain (like {!Obs}), so batch worker domains
+   journal their own units without cross-talk. *)
+type state = {
+  mutable st_enabled : bool;
+  mutable st_items : t list;  (* newest first *)
+  mutable st_next_seq : int;
+  st_seen : (string, unit) Hashtbl.t;
+}
 
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+let state_key : state S1_par.Dls.t =
+  S1_par.Dls.create (fun () ->
+      { st_enabled = false; st_items = []; st_next_seq = 0; st_seen = Hashtbl.create 64 })
+
+let st () = S1_par.Dls.get state_key
+
+let set_enabled b = (st ()).st_enabled <- b
+let enabled () = (st ()).st_enabled
 
 let reset () =
-  items := [];
-  next_seq := 0;
-  Hashtbl.reset seen
+  let s = st () in
+  s.st_items <- [];
+  s.st_next_seq <- 0;
+  Hashtbl.reset s.st_seen
 
 let identity_key ~kind ~pass ~rule ~node ~loc msg =
   Printf.sprintf "%s|%s|%s|%d|%s|%s" (kind_name kind) pass rule node
@@ -79,15 +89,16 @@ let identity_key ~kind ~pass ~rule ~node ~loc msg =
     msg
 
 let record ~kind ~pass ~rule ?(node = -1) ?loc ?(args = []) msg =
-  if !enabled_flag then begin
+  let s = st () in
+  if s.st_enabled then begin
     let key = identity_key ~kind ~pass ~rule ~node ~loc msg in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.replace seen key ();
-      items :=
-        { r_seq = !next_seq; r_kind = kind; r_pass = pass; r_rule = rule; r_node = node;
+    if not (Hashtbl.mem s.st_seen key) then begin
+      Hashtbl.replace s.st_seen key ();
+      s.st_items <-
+        { r_seq = s.st_next_seq; r_kind = kind; r_pass = pass; r_rule = rule; r_node = node;
           r_loc = loc; r_msg = msg; r_args = args }
-        :: !items;
-      incr next_seq
+        :: s.st_items;
+      s.st_next_seq <- s.st_next_seq + 1
     end
   end
 
@@ -97,7 +108,7 @@ let missed ~pass ~rule ?node ?loc ?args msg = record ~kind:Missed ~pass ~rule ?n
 let analysis ~pass ~rule ?node ?loc ?args msg =
   record ~kind:Analysis ~pass ~rule ?node ?loc ?args msg
 
-let remarks () = List.rev !items
+let remarks () = List.rev (st ()).st_items
 
 (** {1 Rollback scoping}
 
@@ -105,20 +116,21 @@ let remarks () = List.rev !items
     it reported describe a tree that no longer exists.  The driver marks
     before the pass body and drops on restore. *)
 
-let mark () = !next_seq
+let mark () = (st ()).st_next_seq
 
 let drop_since m =
-  items := List.filter (fun r -> r.r_seq < m) !items;
+  let s = st () in
+  s.st_items <- List.filter (fun r -> r.r_seq < m) s.st_items;
   (* rebuild the dedup table so an identical decision on the retried
      (degraded) compilation path is not silently suppressed *)
-  Hashtbl.reset seen;
+  Hashtbl.reset s.st_seen;
   List.iter
     (fun r ->
-      Hashtbl.replace seen
+      Hashtbl.replace s.st_seen
         (identity_key ~kind:r.r_kind ~pass:r.r_pass ~rule:r.r_rule ~node:r.r_node
            ~loc:r.r_loc r.r_msg)
         ())
-    !items
+    s.st_items
 
 (** {1 The JSONL journal} *)
 

@@ -19,8 +19,9 @@
     wired to [Cpu.shadow_path]) in its [args], tying timeline events to
     the flamegraph produced by [--folded].
 
-    Like {!Obs}, the recorder is a process-global singleton, disabled
-    (and free) by default; [s1lc --trace-events] switches it on. *)
+    Like {!Obs}, the recorder is a domain-local singleton, disabled
+    (and free) by default; [s1lc --trace-events] switches it on.  Batch
+    worker domains each get a private, initially disabled recorder. *)
 
 type phase =
   | Instant  (** a point event, trace_event ph ["i"] *)
@@ -36,34 +37,46 @@ type event = {
 
 let schema_version = "s1lisp.events/1"
 
-(* Process-global recorder state. *)
-let enabled_flag = ref false
-let events_rev : event list ref = ref []  (* newest first *)
-let clock : (unit -> int) ref = ref (fun () -> 0)
-let path_provider : (unit -> string) ref = ref (fun () -> "")
-let span_stack : (string * int) list ref = ref []
+(* Domain-local recorder state: one recorder per domain, so concurrent
+   batch compilations never interleave their journals. *)
+type state = {
+  mutable st_enabled : bool;
+  mutable st_events_rev : event list;  (* newest first *)
+  mutable st_clock : unit -> int;
+  mutable st_path : unit -> string;
+  mutable st_span_stack : (string * int) list;
+}
 
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+let state_key : state S1_par.Dls.t =
+  S1_par.Dls.create (fun () ->
+      { st_enabled = false; st_events_rev = []; st_clock = (fun () -> 0);
+        st_path = (fun () -> ""); st_span_stack = [] })
+
+let st () = S1_par.Dls.get state_key
+
+let set_enabled b = (st ()).st_enabled <- b
+let enabled () = (st ()).st_enabled
 
 let reset () =
-  events_rev := [];
-  span_stack := []
+  let s = st () in
+  s.st_events_rev <- [];
+  s.st_span_stack <- []
 
-let set_clock f = clock := f
-let set_path_provider f = path_provider := f
-let now () = !clock ()
+let set_clock f = (st ()).st_clock <- f
+let set_path_provider f = (st ()).st_path <- f
+let now () = (st ()).st_clock ()
 
 let record ?(args = []) ~cat ~name phase ts =
-  if !enabled_flag then begin
+  let s = st () in
+  if s.st_enabled then begin
     let args =
-      match !path_provider () with
+      match s.st_path () with
       | "" -> args
       | p -> args @ [ ("path", Json.Str p) ]
     in
-    events_rev :=
+    s.st_events_rev <-
       { ev_ts = ts; ev_cat = cat; ev_name = name; ev_phase = phase; ev_args = args }
-      :: !events_rev
+      :: s.st_events_rev
   end
 
 let instant ?args ~cat name = record ?args ~cat ~name Instant (now ())
@@ -73,16 +86,19 @@ let complete ?args ~cat ~dur name = record ?args ~cat ~name (Complete dur) (now 
 (* Pass-phase spans, driven by [Obs.with_span] on the global registry.
    Begin/end pairs are matched on the span path; a mismatched end (the
    recorder was enabled mid-span) is dropped rather than mispaired. *)
-let span_begin path = if !enabled_flag then span_stack := (path, now ()) :: !span_stack
+let span_begin path =
+  let s = st () in
+  if s.st_enabled then s.st_span_stack <- (path, now ()) :: s.st_span_stack
 
 let span_end path =
-  match !span_stack with
+  let s = st () in
+  match s.st_span_stack with
   | (p, t0) :: rest when p = path ->
-      span_stack := rest;
+      s.st_span_stack <- rest;
       record ~cat:"phase" ~name:path (Complete (now () - t0)) t0
   | _ -> ()
 
-let events () = List.rev !events_rev
+let events () = List.rev (st ()).st_events_rev
 
 (* Chrome trace_event export: the "JSON object format", with a sibling
    "schema" key for --diff-runs classification (trace viewers ignore

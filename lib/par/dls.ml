@@ -1,0 +1,23 @@
+(** Domain-local state: the one-line wrapper every registry singleton in
+    the tree goes through so the batch compile service ([lib/serve]) can
+    run one compilation per domain without cross-talk.
+
+    The compiler grew up single-threaded, with a handful of process-global
+    mutable registries (the {!S1_obs.Obs} counter registry, the remark and
+    timeline journals, the IR node-id wells, the gensym counters).  Those
+    singletons are the right API — one instrumentation line per call site
+    — but the batch driver compiles independent units on concurrent
+    domains, and a shared well of node ids or a shared span stack would
+    interleave nondeterministically.  Scoping each singleton per domain
+    keeps both properties: call sites stay one line, and every worker
+    domain sees a private, freshly initialized copy.
+
+    [create init] allocates a key whose per-domain value is built lazily
+    by [init] on first [get] in that domain — a new worker domain starts
+    from the same clean slate a fresh process would. *)
+
+type 'a t = 'a Domain.DLS.key
+
+let create (init : unit -> 'a) : 'a t = Domain.DLS.new_key init
+let get (k : 'a t) : 'a = Domain.DLS.get k
+let set (k : 'a t) (v : 'a) : unit = Domain.DLS.set k v

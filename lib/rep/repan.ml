@@ -53,7 +53,7 @@ let convertible ~from_ ~to_ =
    raw rep the prim table declares — claiming SWFLO here made the
    generator read the tagged word as a raw float (found by the
    differential fuzzer under --no-inline-prims). *)
-let inline_prims = ref true
+let inline_prims : bool ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref true)
 
 (* The representation a prim's result is delivered in when compiled
    inline (generic prims deliver POINTER via the runtime).  Inline-ness
@@ -61,7 +61,7 @@ let inline_prims = ref true
    a native call even with inlining on — so both judgements consult the
    shared Prims.inlinable table the generator uses. *)
 let prim_isrep fname ~nargs ~want =
-  if not (!inline_prims && Prims.inlinable fname nargs) then POINTER
+  if not (!(S1_par.Dls.get inline_prims) && Prims.inlinable fname nargs) then POINTER
   else
     match Prims.find fname with
     | Some { Prims.res_rep = Some BIT; _ } -> if want = JUMP then JUMP else POINTER
@@ -69,7 +69,7 @@ let prim_isrep fname ~nargs ~want =
     | _ -> POINTER
 
 let prim_argrep fname ~nargs =
-  if not (!inline_prims && Prims.inlinable fname nargs) then None
+  if not (!(S1_par.Dls.get inline_prims) && Prims.inlinable fname nargs) then None
   else
     match Prims.find fname with
     | Some { Prims.arg_rep = Some r; _ } -> Some r
@@ -318,7 +318,7 @@ let report (root : node) : unit =
             let nargs = List.length args in
             match Prims.find fname with
             | Some { Prims.res_rep = Some r; _ } ->
-                if !inline_prims && Prims.inlinable fname nargs then
+                if !(S1_par.Dls.get inline_prims) && Prims.inlinable fname nargs then
                   Remark.passed ~pass:"repan" ~rule:"OPEN-CODE" ~node:n.n_id ?loc:n.n_loc
                     ~args:[ ("fn", Remark.Str fname); ("rep", Remark.Str (rep_name r)) ]
                     (Printf.sprintf "%s compiles inline, delivering raw %s" fname
@@ -326,7 +326,7 @@ let report (root : node) : unit =
                 else
                   Remark.missed ~pass:"repan" ~rule:"OPEN-CODE" ~node:n.n_id ?loc:n.n_loc
                     ~args:[ ("fn", Remark.Str fname); ("arity", Remark.Int nargs) ]
-                    (if not !inline_prims then
+                    (if not !(S1_par.Dls.get inline_prims) then
                        Printf.sprintf
                          "%s goes out-of-line (prim inlining disabled); result boxed to \
                           POINTER"
@@ -409,7 +409,7 @@ let report (root : node) : unit =
 (* Entry point -------------------------------------------------------------------- *)
 
 let run ?(inline = true) (root : node) : unit =
-  inline_prims := inline;
+  S1_par.Dls.get inline_prims := inline;
   S1_obs.Obs.with_span "repan" (fun () ->
       (* reset *)
       iter (fun n -> n.n_wantrep <- POINTER) root;

@@ -1,0 +1,181 @@
+(** Content-addressed image cache: an in-memory LRU in front of an
+    optional on-disk store.
+
+    The key is the MD5 of (image schema version, canonical
+    optimization-lattice flags, raw source bytes): flip any lattice
+    flag, edit one source byte, or bump the image schema and the key
+    changes — stale images can never be served.  Conversely the image
+    format is byte-deterministic, so equal keys always map to equal
+    bytes and a disk store shared between concurrent batch workers needs
+    no coordination beyond atomic rename.
+
+    Counters (in the calling domain's {!Obs} registry):
+    - [serve.hits] / [serve.misses] — exactly one per lookup;
+    - [serve.stale] — a disk blob that failed verification (wrong
+      schema, checksum, or key); counted in addition to the miss;
+    - [serve.evictions] — LRU entries dropped over capacity;
+    - [image.bytes_written] / [image.bytes_read] — disk traffic. *)
+
+module Obs = S1_obs.Obs
+module Rules = S1_transform.Rules
+module Gen = S1_codegen.Gen
+
+(* Canonical flag string: one field per optimization-lattice axis, in a
+   fixed order.  Exhaustive record patterns make adding a lattice axis
+   without extending the key a compile error — silently serving images
+   compiled under a different meaning of "default" is the exact bug a
+   content address exists to prevent. *)
+let canonical_flags (rules : Rules.config) (options : Gen.options) ~(cse : bool)
+    : string =
+  let {
+    Rules.beta;
+    fold;
+    ifopt;
+    assoc;
+    identities;
+    deadcode;
+    sinc;
+    integrate;
+    typed_specialize;
+    max_integrate_size;
+    max_duplicate_size;
+  } =
+    rules
+  in
+  let { Gen.checked; use_tnbind; pdl_numbers; cache_specials; inline_prims; peephole }
+      =
+    options
+  in
+  let b v = if v then '1' else '0' in
+  Printf.sprintf
+    "beta=%c fold=%c ifopt=%c assoc=%c identities=%c deadcode=%c sinc=%c \
+     integrate=%c typed_specialize=%c max_integrate=%d max_duplicate=%d \
+     checked=%c tnbind=%c pdl=%c cache_specials=%c inline_prims=%c \
+     peephole=%c cse=%c"
+    (b beta) (b fold) (b ifopt) (b assoc) (b identities) (b deadcode) (b sinc)
+    (b integrate) (b typed_specialize) max_integrate_size max_duplicate_size
+    (b checked) (b use_tnbind) (b pdl_numbers) (b cache_specials)
+    (b inline_prims) (b peephole) (b cse)
+
+let key ?(schema = Image.schema_version) ~(flags : string) (source : string) :
+    string =
+  Digest.to_hex (Digest.string (String.concat "\x00" [ schema; flags; source ]))
+
+type t = {
+  capacity : int;  (** in-memory entries kept; disk entries are unbounded *)
+  dir : string option;
+  lock : Mutex.t;
+  mutable lru : (string * string) list;  (** (key, bytes), most recent first *)
+}
+
+let default_capacity = 64
+
+let rec ensure_dir d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let create ?dir ?(capacity = default_capacity) () =
+  Option.iter ensure_dir dir;
+  { capacity = max 1 capacity; dir; lock = Mutex.create (); lru = [] }
+
+let entry_path dir k = Filename.concat dir (k ^ ".image")
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Insert at the front, dropping any older copy; spill over capacity off
+   the tail.  Caller holds the lock. *)
+let put_front t k bytes =
+  let rest = List.filter (fun (k', _) -> k' <> k) t.lru in
+  let lru = (k, bytes) :: rest in
+  let rec take n = function
+    | [] -> ([], [])
+    | l when n = 0 -> ([], l)
+    | e :: tl ->
+        let kept, dropped = take (n - 1) tl in
+        (e :: kept, dropped)
+  in
+  let kept, dropped = take t.capacity lru in
+  List.iter (fun _ -> Obs.incr "serve.evictions") dropped;
+  t.lru <- kept
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publish: a reader sees either nothing or complete bytes, even
+   against concurrent writers of the same key (same bytes — the format
+   is deterministic — so last rename winning is harmless). *)
+let write_file dir k bytes =
+  ensure_dir dir;
+  let final = entry_path dir k in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" final (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc bytes);
+  Sys.rename tmp final
+
+(* A disk blob is served only if it still verifies: parses, carries the
+   right schema and checksum, and was stored under its own key.  Anything
+   else is stale — deleted and treated as a miss. *)
+let disk_find t k =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let path = entry_path dir k in
+      match read_file path with
+      | exception Sys_error _ -> None
+      | bytes -> (
+          Obs.incr ~n:(String.length bytes) "image.bytes_read";
+          match Image.load bytes with
+          | Ok img when img.Image.i_key = k -> Some bytes
+          | Ok _ | Error _ ->
+              Obs.incr "serve.stale";
+              (try Sys.remove path with Sys_error _ -> ());
+              None))
+
+(** Look up verified image bytes.  Exactly one of [serve.hits] /
+    [serve.misses] fires per call. *)
+let find (t : t) (k : string) : string option =
+  let mem_hit =
+    locked t (fun () ->
+        match List.assoc_opt k t.lru with
+        | Some bytes ->
+            put_front t k bytes;
+            Some bytes
+        | None -> None)
+  in
+  match mem_hit with
+  | Some bytes ->
+      Obs.incr "serve.hits";
+      Some bytes
+  | None -> (
+      match disk_find t k with
+      | Some bytes ->
+          locked t (fun () -> put_front t k bytes);
+          Obs.incr "serve.hits";
+          Some bytes
+      | None ->
+          Obs.incr "serve.misses";
+          None)
+
+(** Publish image bytes under their key, in memory and (when configured)
+    on disk. *)
+let store (t : t) (k : string) (bytes : string) : unit =
+  locked t (fun () -> put_front t k bytes);
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      write_file dir k bytes;
+      Obs.incr ~n:(String.length bytes) "image.bytes_written"
+
+let in_memory (t : t) : int = locked t (fun () -> List.length t.lru)

@@ -1,0 +1,565 @@
+(** Serialized compiled units: the [s1lisp.image/1] on-disk format.
+
+    An image is everything the compile service needs to reinstate a
+    compiled file into a {e different} live world than the one it was
+    compiled against: per top-level form, the pre-assembly program with
+    every world-dependent word replaced by a {e sentinel}, plus the
+    ordered recipe of world requests ("intern this symbol", "intern this
+    constant", "allocate a fresh static cell") whose replay against the
+    target world yields the words to substitute back.  Replaying the
+    recipe in recording order reproduces the exact interning and
+    static-allocation sequence a from-source compile would have
+    performed, which is what makes a warm load byte-identical to a cold
+    compile: same words, same addresses, same cycle counts.
+
+    The format is byte-deterministic: the same unit under the same
+    optimization flags always serializes to the same bytes (no
+    timestamps, no hash-order maps, floats stored as IEEE bit
+    patterns), so content-addressed caching and byte-level `cmp` of
+    image trees are sound.
+
+    The loader is total: [load] returns a typed {!load_error} — wrong
+    schema, checksum mismatch, malformed structure — and never lets an
+    exception escape. *)
+
+module Json = S1_obs.Json
+module Isa = S1_machine.Isa
+module Asm = S1_machine.Asm
+module Tags = S1_machine.Tags
+module Sexp = S1_sexp.Sexp
+module Loc = S1_loc.Loc
+
+let schema_version = "s1lisp.image/1"
+
+(* Sentinels ------------------------------------------------------------ *)
+
+(* World-dependent words in a serialized program are placeholders far
+   above the 36-bit machine word space: sentinel [i] stands for the
+   result of the [i]th world request in the unit's recipe.  Nothing
+   downstream of the generator inspects immediate values (the peephole
+   rewrites control flow only, and operand cost classes the sentinel
+   range with every other non-short immediate), so a sentinel program
+   assembles and costs exactly like its resolved counterpart. *)
+let sentinel_base = 1 lsl 40
+let is_sentinel w = w >= sentinel_base
+let sentinel i = sentinel_base + i
+let sentinel_index w = w - sentinel_base
+
+(** One recorded world request.  Replay order is the list order. *)
+type worldref =
+  | Rnil
+  | Rtrue
+  | Rconst of Sexp.t  (** intern a quoted constant in static space *)
+  | Rsym of string  (** intern a symbol *)
+  | Rfun_cell of string  (** address of a symbol's function cell *)
+  | Rval_cell of string  (** address of a symbol's value cell *)
+  | Rfresh_cell  (** allocate one fresh static cell (closure fixups) *)
+
+type unit_img = {
+  u_name : string;
+  u_prog : Asm.program;  (** pre-assembly, world words as sentinels *)
+  u_entry : string;
+  u_min_args : int;
+  u_max_args : int;
+  u_fixups : (string * int * string * int * int) list;
+      (** closure fixups; the cell component is a sentinel *)
+  u_refs : worldref list;  (** the recipe, in recording order *)
+  u_listing : string;  (** resolved listing, as [--annotate] shows it *)
+  u_tn_report : string;
+}
+
+(** What the unit was {e for}: replay mirrors the driver's top-level
+    form dispatch so a loaded image has the same world effects (function
+    cells set, specials proclaimed, macros registered, top-level forms
+    run) as evaluating the source. *)
+type action =
+  | Defun of unit_img
+  | Defmacro of string * unit_img  (** macro name; the unit is its expander *)
+  | Defvar of string * unit_img  (** variable name; the unit computes the init *)
+  | Proclaim of string list  (** names proclaimed SPECIAL; no code *)
+  | Toplevel of unit_img
+
+type t = {
+  i_file : string;  (** source path, informative only *)
+  i_key : string;  (** content-address this image was stored under *)
+  i_flags : string;  (** canonical optimization-lattice string *)
+  i_actions : action list;
+  i_remarks : string;  (** the cold compile's remark journal (JSONL) *)
+  i_counters : (string * int) list;  (** the cold compile's counter delta *)
+}
+
+type load_error =
+  | Bad_json of string  (** not parseable as JSON at all *)
+  | Wrong_schema of string  (** carries the schema the blob declared *)
+  | Corrupted of string  (** checksum mismatch: expected vs found *)
+  | Malformed of string  (** parsed, right schema, wrong shape *)
+
+let load_error_to_string = function
+  | Bad_json m -> "image is not valid JSON: " ^ m
+  | Wrong_schema s ->
+      Printf.sprintf "image schema %S is not %S" s schema_version
+  | Corrupted m -> "image checksum mismatch: " ^ m
+  | Malformed m -> "malformed image: " ^ m
+
+(* Substitution --------------------------------------------------------- *)
+
+(* Replace sentinels with resolved words.  Only [Imm] and [Mabs]
+   operands and [Data] words can carry world words (the generator's
+   world contract); everything else passes through untouched. *)
+
+let subst_word a w = if is_sentinel w then a.(sentinel_index w) else w
+
+let subst_operand a (op : Isa.operand) : Isa.operand =
+  match op with
+  | Isa.Imm v -> Isa.Imm (subst_word a v)
+  | Isa.Mabs v -> Isa.Mabs (subst_word a v)
+  | Isa.Reg _ | Isa.Ind _ | Isa.Idx _ | Isa.Defind _ | Isa.Defreg _ | Isa.Lab _
+  | Isa.Dlab _ ->
+      op
+
+let subst_instr a (i : Isa.instr) : Isa.instr =
+  let s = subst_operand a in
+  match i with
+  | Isa.Mov (d, x) -> Isa.Mov (s d, s x)
+  | Isa.Movp (t, d, x) -> Isa.Movp (t, s d, s x)
+  | Isa.Gettag (d, x) -> Isa.Gettag (s d, s x)
+  | Isa.Getaddr (d, x) -> Isa.Getaddr (s d, s x)
+  | Isa.Settag (t, d) -> Isa.Settag (t, s d)
+  | Isa.Bin (op, w, d, x, y) -> Isa.Bin (op, w, s d, s x, s y)
+  | Isa.Un (op, w, d, x) -> Isa.Un (op, w, s d, s x)
+  | Isa.Jmp (c, x, y, t) -> Isa.Jmp (c, s x, s y, t)
+  | Isa.Fjmp (c, x, y, t) -> Isa.Fjmp (c, s x, s y, t)
+  | Isa.Jmpz (c, x, t) -> Isa.Jmpz (c, s x, t)
+  | Isa.Jmptag (c, x, tag, t) -> Isa.Jmptag (c, s x, tag, t)
+  | Isa.Jmpa _ | Isa.Ret | Isa.Svc _ | Isa.Halt | Isa.Nop -> i
+  | Isa.Jmpi x -> Isa.Jmpi (s x)
+  | Isa.Jsp _ -> i
+  | Isa.Push x -> Isa.Push (s x)
+  | Isa.Pop d -> Isa.Pop (s d)
+  | Isa.Allocs (x, n) -> Isa.Allocs (s x, n)
+  | Isa.Call (f, n) -> Isa.Call (s f, n)
+  | Isa.Tcall (f, n) -> Isa.Tcall (s f, n)
+  | Isa.Vdot (d, x, y, n) -> Isa.Vdot (s d, s x, s y, s n)
+  | Isa.Vadd (d, x, y, n) -> Isa.Vadd (s d, s x, s y, s n)
+
+let subst_item a (it : Asm.item) : Asm.item =
+  match it with
+  | Asm.Instr i -> Asm.Instr (subst_instr a i)
+  | Asm.Data (l, ds) ->
+      Asm.Data
+        ( l,
+          List.map
+            (function Asm.Word w -> Asm.Word (subst_word a w) | d -> d)
+            ds )
+  | Asm.Label _ | Asm.Comment _ | Asm.Mark _ -> it
+
+let subst_program a (prog : Asm.program) : Asm.program =
+  List.map (subst_item a) prog
+
+let subst_fixups a fixups =
+  List.map (fun (e, cell, n, mn, mx) -> (e, subst_word a cell, n, mn, mx)) fixups
+
+(* Encoding ------------------------------------------------------------- *)
+
+let jint n = Json.Int n
+let jstr s = Json.Str s
+
+(* IEEE bits, not decimal text: float round-trips must be exact for
+   byte-determinism, and the constant pool can hold any bit pattern. *)
+let json_of_float f = Json.Str (Printf.sprintf "%Lx" (Int64.bits_of_float f))
+
+let prec_name = function
+  | Sexp.Half -> "H"
+  | Sexp.Single -> "S"
+  | Sexp.Double -> "D"
+  | Sexp.Twice -> "T"
+
+let rec json_of_sexp (s : Sexp.t) : Json.t =
+  match s with
+  | Sexp.Sym x -> Json.Arr [ jstr "y"; jstr x ]
+  | Sexp.Int n -> Json.Arr [ jstr "i"; jint n ]
+  | Sexp.Big x -> Json.Arr [ jstr "b"; jstr x ]
+  | Sexp.Ratio (n, d) -> Json.Arr [ jstr "r"; jint n; jint d ]
+  | Sexp.Float (f, p) -> Json.Arr [ jstr "f"; json_of_float f; jstr (prec_name p) ]
+  | Sexp.Str x -> Json.Arr [ jstr "s"; jstr x ]
+  | Sexp.Char c -> Json.Arr [ jstr "c"; jint (Char.code c) ]
+  | Sexp.List xs -> Json.Arr (jstr "l" :: List.map json_of_sexp xs)
+  | Sexp.Dotted (xs, t) ->
+      Json.Arr [ jstr "d"; Json.Arr (List.map json_of_sexp xs); json_of_sexp t ]
+
+let json_of_operand (op : Isa.operand) : Json.t =
+  match op with
+  | Isa.Reg r -> Json.Arr [ jstr "R"; jint r ]
+  | Isa.Imm v -> Json.Arr [ jstr "I"; jint v ]
+  | Isa.Mabs v -> Json.Arr [ jstr "M"; jint v ]
+  | Isa.Ind (r, d) -> Json.Arr [ jstr "N"; jint r; jint d ]
+  | Isa.Idx { base; disp; index; shift } ->
+      Json.Arr [ jstr "X"; jint base; jint disp; jint index; jint shift ]
+  | Isa.Defind (r, d, o) -> Json.Arr [ jstr "DI"; jint r; jint d; jint o ]
+  | Isa.Defreg (r, o) -> Json.Arr [ jstr "DR"; jint r; jint o ]
+  | Isa.Lab l -> Json.Arr [ jstr "L"; jstr l ]
+  | Isa.Dlab (l, o) -> Json.Arr [ jstr "DL"; jstr l; jint o ]
+
+let json_of_target = function
+  | Isa.L l -> Json.Arr [ jstr "L"; jstr l ]
+  | Isa.Abs n -> Json.Arr [ jstr "A"; jint n ]
+
+let jcond c = jstr (Isa.cond_name c)
+let jwidth w = jstr (Isa.width_name w)
+let jtag t = jint (Tags.to_int t)
+
+let json_of_instr (i : Isa.instr) : Json.t =
+  let o = json_of_operand and t = json_of_target in
+  match i with
+  | Isa.Mov (d, x) -> Json.Arr [ jstr "MOV"; o d; o x ]
+  | Isa.Movp (tag, d, x) -> Json.Arr [ jstr "MOVP"; jtag tag; o d; o x ]
+  | Isa.Gettag (d, x) -> Json.Arr [ jstr "GETTAG"; o d; o x ]
+  | Isa.Getaddr (d, x) -> Json.Arr [ jstr "GETADDR"; o d; o x ]
+  | Isa.Settag (tag, d) -> Json.Arr [ jstr "SETTAG"; jtag tag; o d ]
+  | Isa.Bin (op, w, d, x, y) ->
+      Json.Arr [ jstr "BIN"; jstr (Isa.binop_name op); jwidth w; o d; o x; o y ]
+  | Isa.Un (op, w, d, x) ->
+      Json.Arr [ jstr "UN"; jstr (Isa.unop_name op); jwidth w; o d; o x ]
+  | Isa.Jmp (c, x, y, tg) -> Json.Arr [ jstr "JMP"; jcond c; o x; o y; t tg ]
+  | Isa.Fjmp (c, x, y, tg) -> Json.Arr [ jstr "FJMP"; jcond c; o x; o y; t tg ]
+  | Isa.Jmpz (c, x, tg) -> Json.Arr [ jstr "JMPZ"; jcond c; o x; t tg ]
+  | Isa.Jmptag (c, x, tag, tg) ->
+      Json.Arr [ jstr "JMPTAG"; jcond c; o x; jtag tag; t tg ]
+  | Isa.Jmpa tg -> Json.Arr [ jstr "JMPA"; t tg ]
+  | Isa.Jmpi x -> Json.Arr [ jstr "JMPI"; o x ]
+  | Isa.Jsp (r, tg) -> Json.Arr [ jstr "JSP"; jint r; t tg ]
+  | Isa.Push x -> Json.Arr [ jstr "PUSH"; o x ]
+  | Isa.Pop d -> Json.Arr [ jstr "POP"; o d ]
+  | Isa.Allocs (x, n) -> Json.Arr [ jstr "ALLOCS"; o x; jint n ]
+  | Isa.Call (f, n) -> Json.Arr [ jstr "CALL"; o f; jint n ]
+  | Isa.Tcall (f, n) -> Json.Arr [ jstr "TCALL"; o f; jint n ]
+  | Isa.Ret -> Json.Arr [ jstr "RET" ]
+  (* services serialize by name, not id: the id space is assigned in
+     module-initialization order and is not part of the format *)
+  | Isa.Svc id -> Json.Arr [ jstr "SVC"; jstr (Isa.svc_name id) ]
+  | Isa.Vdot (d, x, y, n) -> Json.Arr [ jstr "VDOT"; o d; o x; o y; o n ]
+  | Isa.Vadd (d, x, y, n) -> Json.Arr [ jstr "VADD"; o d; o x; o y; o n ]
+  | Isa.Halt -> Json.Arr [ jstr "HALT" ]
+  | Isa.Nop -> Json.Arr [ jstr "NOP" ]
+
+let json_of_loc (l : Loc.t) : Json.t =
+  Json.Arr [ jstr l.Loc.file; jint l.Loc.line; jint l.Loc.col ]
+
+let json_of_item (it : Asm.item) : Json.t =
+  match it with
+  | Asm.Label l -> Json.Arr [ jstr "LB"; jstr l ]
+  | Asm.Instr i -> Json.Arr [ jstr "IS"; json_of_instr i ]
+  | Asm.Data (l, ds) ->
+      Json.Arr
+        [ jstr "DA"; jstr l;
+          Json.Arr
+            (List.map
+               (function
+                 | Asm.Word w -> Json.Arr [ jstr "w"; jint w ]
+                 | Asm.Labref s -> Json.Arr [ jstr "r"; jstr s ])
+               ds) ]
+  | Asm.Comment s -> Json.Arr [ jstr "CO"; jstr s ]
+  | Asm.Mark (node, loc) ->
+      Json.Arr
+        [ jstr "MK"; jint node;
+          (match loc with None -> Json.Null | Some l -> json_of_loc l) ]
+
+let json_of_worldref (r : worldref) : Json.t =
+  match r with
+  | Rnil -> Json.Arr [ jstr "nil" ]
+  | Rtrue -> Json.Arr [ jstr "t" ]
+  | Rconst s -> Json.Arr [ jstr "const"; json_of_sexp s ]
+  | Rsym n -> Json.Arr [ jstr "sym"; jstr n ]
+  | Rfun_cell n -> Json.Arr [ jstr "fun"; jstr n ]
+  | Rval_cell n -> Json.Arr [ jstr "val"; jstr n ]
+  | Rfresh_cell -> Json.Arr [ jstr "cell" ]
+
+let json_of_unit (u : unit_img) : Json.t =
+  Json.Obj
+    [
+      ("name", jstr u.u_name);
+      ("entry", jstr u.u_entry);
+      ("min", jint u.u_min_args);
+      ("max", jint u.u_max_args);
+      ("prog", Json.Arr (List.map json_of_item u.u_prog));
+      ( "fixups",
+        Json.Arr
+          (List.map
+             (fun (e, cell, n, mn, mx) ->
+               Json.Arr [ jstr e; jint cell; jstr n; jint mn; jint mx ])
+             u.u_fixups) );
+      ("refs", Json.Arr (List.map json_of_worldref u.u_refs));
+      ("listing", jstr u.u_listing);
+      ("tn_report", jstr u.u_tn_report);
+    ]
+
+let json_of_action (a : action) : Json.t =
+  match a with
+  | Defun u -> Json.Arr [ jstr "defun"; json_of_unit u ]
+  | Defmacro (n, u) -> Json.Arr [ jstr "defmacro"; jstr n; json_of_unit u ]
+  | Defvar (n, u) -> Json.Arr [ jstr "defvar"; jstr n; json_of_unit u ]
+  | Proclaim ns -> Json.Arr (jstr "proclaim" :: List.map jstr ns)
+  | Toplevel u -> Json.Arr [ jstr "toplevel"; json_of_unit u ]
+
+let json_of_image (i : t) : Json.t =
+  Json.Obj
+    [
+      ("file", jstr i.i_file);
+      ("key", jstr i.i_key);
+      ("flags", jstr i.i_flags);
+      ("actions", Json.Arr (List.map json_of_action i.i_actions));
+      ("remarks", jstr i.i_remarks);
+      ( "counters",
+        Json.Arr
+          (List.map (fun (k, n) -> Json.Arr [ jstr k; jint n ]) i.i_counters) );
+    ]
+
+(** The canonical byte form: a two-field envelope whose payload is the
+    compact-printed body with its own MD5, so corruption is detected
+    before any structural decoding happens. *)
+let save (i : t) : string =
+  let payload = Json.to_string ~pretty:false (json_of_image i) in
+  let doc =
+    Json.Obj
+      [
+        ("schema", jstr schema_version);
+        ("checksum", jstr (Digest.to_hex (Digest.string payload)));
+        ("payload", jstr payload);
+      ]
+  in
+  Json.to_string ~pretty:false doc ^ "\n"
+
+(* Decoding ------------------------------------------------------------- *)
+
+exception Decode of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode s)) fmt
+let dint = function Json.Int n -> n | _ -> fail "expected integer"
+let dstr = function Json.Str s -> s | _ -> fail "expected string"
+let darr = function Json.Arr xs -> xs | _ -> fail "expected array"
+
+let dfield obj name =
+  match obj with
+  | Json.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> fail "missing field %S" name)
+  | _ -> fail "expected object"
+
+let float_of_bits_str s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some bits -> Int64.float_of_bits bits
+  | None -> fail "bad float bits %S" s
+
+let prec_of_name = function
+  | "H" -> Sexp.Half
+  | "S" -> Sexp.Single
+  | "D" -> Sexp.Double
+  | "T" -> Sexp.Twice
+  | s -> fail "unknown float precision %S" s
+
+let rec sexp_of_json (j : Json.t) : Sexp.t =
+  match darr j with
+  | [ Json.Str "y"; n ] -> Sexp.Sym (dstr n)
+  | [ Json.Str "i"; n ] -> Sexp.Int (dint n)
+  | [ Json.Str "b"; n ] -> Sexp.Big (dstr n)
+  | [ Json.Str "r"; n; d ] -> Sexp.Ratio (dint n, dint d)
+  | [ Json.Str "f"; bits; p ] ->
+      Sexp.Float (float_of_bits_str (dstr bits), prec_of_name (dstr p))
+  | [ Json.Str "s"; s ] -> Sexp.Str (dstr s)
+  | [ Json.Str "c"; n ] -> Sexp.Char (Char.chr (dint n land 0xff))
+  | Json.Str "l" :: xs -> Sexp.List (List.map sexp_of_json xs)
+  | [ Json.Str "d"; xs; t ] ->
+      Sexp.Dotted (List.map sexp_of_json (darr xs), sexp_of_json t)
+  | _ -> fail "bad s-expression encoding"
+
+let all_conds = Isa.[ EQ; NEQ; LSS; LEQ; GTR; GEQ ]
+let all_widths = Isa.[ S; D ]
+
+let all_binops =
+  Isa.
+    [
+      ADD; SUB; MULT; DIV Floor; DIV Ceiling; DIV Truncate; DIV Round; MOD; REM;
+      AND; OR; XOR; ASH; FADD; FSUB; FMULT; FDIV; FMAX; FMIN; FATAN;
+    ]
+
+let all_unops =
+  Isa.
+    [
+      NEG; NOT; FNEG; FABS; FSQRT; FSIN; FCOS; FEXP; FLOG; FLOAT; FIX Floor;
+      FIX Ceiling; FIX Truncate; FIX Round; DATUM;
+    ]
+
+let by_name what name_of all j =
+  let s = dstr j in
+  match List.find_opt (fun x -> name_of x = s) all with
+  | Some x -> x
+  | None -> fail "unknown %s %S" what s
+
+let dcond j = by_name "condition" Isa.cond_name all_conds j
+let dwidth j = by_name "width" Isa.width_name all_widths j
+let dbinop j = by_name "binop" Isa.binop_name all_binops j
+let dunop j = by_name "unop" Isa.unop_name all_unops j
+
+let dtag j =
+  match Tags.of_int (dint j) with
+  | t -> t
+  | exception _ -> fail "bad tag %d" (dint j)
+
+let operand_of_json (j : Json.t) : Isa.operand =
+  match darr j with
+  | [ Json.Str "R"; r ] -> Isa.Reg (dint r)
+  | [ Json.Str "I"; v ] -> Isa.Imm (dint v)
+  | [ Json.Str "M"; v ] -> Isa.Mabs (dint v)
+  | [ Json.Str "N"; r; d ] -> Isa.Ind (dint r, dint d)
+  | [ Json.Str "X"; b; d; i; s ] ->
+      Isa.Idx { base = dint b; disp = dint d; index = dint i; shift = dint s }
+  | [ Json.Str "DI"; r; d; o ] -> Isa.Defind (dint r, dint d, dint o)
+  | [ Json.Str "DR"; r; o ] -> Isa.Defreg (dint r, dint o)
+  | [ Json.Str "L"; l ] -> Isa.Lab (dstr l)
+  | [ Json.Str "DL"; l; o ] -> Isa.Dlab (dstr l, dint o)
+  | _ -> fail "bad operand encoding"
+
+let target_of_json (j : Json.t) : Isa.target =
+  match darr j with
+  | [ Json.Str "L"; l ] -> Isa.L (dstr l)
+  | [ Json.Str "A"; n ] -> Isa.Abs (dint n)
+  | _ -> fail "bad target encoding"
+
+let instr_of_json (j : Json.t) : Isa.instr =
+  let o = operand_of_json and t = target_of_json in
+  match darr j with
+  | [ Json.Str "MOV"; d; x ] -> Isa.Mov (o d, o x)
+  | [ Json.Str "MOVP"; tag; d; x ] -> Isa.Movp (dtag tag, o d, o x)
+  | [ Json.Str "GETTAG"; d; x ] -> Isa.Gettag (o d, o x)
+  | [ Json.Str "GETADDR"; d; x ] -> Isa.Getaddr (o d, o x)
+  | [ Json.Str "SETTAG"; tag; d ] -> Isa.Settag (dtag tag, o d)
+  | [ Json.Str "BIN"; op; w; d; x; y ] ->
+      Isa.Bin (dbinop op, dwidth w, o d, o x, o y)
+  | [ Json.Str "UN"; op; w; d; x ] -> Isa.Un (dunop op, dwidth w, o d, o x)
+  | [ Json.Str "JMP"; c; x; y; tg ] -> Isa.Jmp (dcond c, o x, o y, t tg)
+  | [ Json.Str "FJMP"; c; x; y; tg ] -> Isa.Fjmp (dcond c, o x, o y, t tg)
+  | [ Json.Str "JMPZ"; c; x; tg ] -> Isa.Jmpz (dcond c, o x, t tg)
+  | [ Json.Str "JMPTAG"; c; x; tag; tg ] ->
+      Isa.Jmptag (dcond c, o x, dtag tag, t tg)
+  | [ Json.Str "JMPA"; tg ] -> Isa.Jmpa (t tg)
+  | [ Json.Str "JMPI"; x ] -> Isa.Jmpi (o x)
+  | [ Json.Str "JSP"; r; tg ] -> Isa.Jsp (dint r, t tg)
+  | [ Json.Str "PUSH"; x ] -> Isa.Push (o x)
+  | [ Json.Str "POP"; d ] -> Isa.Pop (o d)
+  | [ Json.Str "ALLOCS"; x; n ] -> Isa.Allocs (o x, dint n)
+  | [ Json.Str "CALL"; f; n ] -> Isa.Call (o f, dint n)
+  | [ Json.Str "TCALL"; f; n ] -> Isa.Tcall (o f, dint n)
+  | [ Json.Str "RET" ] -> Isa.Ret
+  | [ Json.Str "SVC"; name ] -> Isa.Svc (Isa.register_svc (dstr name))
+  | [ Json.Str "VDOT"; d; x; y; n ] -> Isa.Vdot (o d, o x, o y, o n)
+  | [ Json.Str "VADD"; d; x; y; n ] -> Isa.Vadd (o d, o x, o y, o n)
+  | [ Json.Str "HALT" ] -> Isa.Halt
+  | [ Json.Str "NOP" ] -> Isa.Nop
+  | _ -> fail "bad instruction encoding"
+
+let loc_of_json (j : Json.t) : Loc.t =
+  match darr j with
+  | [ f; l; c ] -> Loc.make ~file:(dstr f) ~line:(dint l) ~col:(dint c)
+  | _ -> fail "bad location encoding"
+
+let item_of_json (j : Json.t) : Asm.item =
+  match darr j with
+  | [ Json.Str "LB"; l ] -> Asm.Label (dstr l)
+  | [ Json.Str "IS"; i ] -> Asm.Instr (instr_of_json i)
+  | [ Json.Str "DA"; l; ds ] ->
+      Asm.Data
+        ( dstr l,
+          List.map
+            (fun d ->
+              match darr d with
+              | [ Json.Str "w"; w ] -> Asm.Word (dint w)
+              | [ Json.Str "r"; s ] -> Asm.Labref (dstr s)
+              | _ -> fail "bad datum encoding")
+            (darr ds) )
+  | [ Json.Str "CO"; s ] -> Asm.Comment (dstr s)
+  | [ Json.Str "MK"; node; loc ] ->
+      Asm.Mark
+        (dint node, match loc with Json.Null -> None | l -> Some (loc_of_json l))
+  | _ -> fail "bad program item encoding"
+
+let worldref_of_json (j : Json.t) : worldref =
+  match darr j with
+  | [ Json.Str "nil" ] -> Rnil
+  | [ Json.Str "t" ] -> Rtrue
+  | [ Json.Str "const"; s ] -> Rconst (sexp_of_json s)
+  | [ Json.Str "sym"; n ] -> Rsym (dstr n)
+  | [ Json.Str "fun"; n ] -> Rfun_cell (dstr n)
+  | [ Json.Str "val"; n ] -> Rval_cell (dstr n)
+  | [ Json.Str "cell" ] -> Rfresh_cell
+  | _ -> fail "bad world reference encoding"
+
+let unit_of_json (j : Json.t) : unit_img =
+  {
+    u_name = dstr (dfield j "name");
+    u_entry = dstr (dfield j "entry");
+    u_min_args = dint (dfield j "min");
+    u_max_args = dint (dfield j "max");
+    u_prog = List.map item_of_json (darr (dfield j "prog"));
+    u_fixups =
+      List.map
+        (fun f ->
+          match darr f with
+          | [ e; cell; n; mn; mx ] ->
+              (dstr e, dint cell, dstr n, dint mn, dint mx)
+          | _ -> fail "bad fixup encoding")
+        (darr (dfield j "fixups"));
+    u_refs = List.map worldref_of_json (darr (dfield j "refs"));
+    u_listing = dstr (dfield j "listing");
+    u_tn_report = dstr (dfield j "tn_report");
+  }
+
+let action_of_json (j : Json.t) : action =
+  match darr j with
+  | [ Json.Str "defun"; u ] -> Defun (unit_of_json u)
+  | [ Json.Str "defmacro"; n; u ] -> Defmacro (dstr n, unit_of_json u)
+  | [ Json.Str "defvar"; n; u ] -> Defvar (dstr n, unit_of_json u)
+  | Json.Str "proclaim" :: ns -> Proclaim (List.map dstr ns)
+  | [ Json.Str "toplevel"; u ] -> Toplevel (unit_of_json u)
+  | _ -> fail "bad action encoding"
+
+let image_of_json (j : Json.t) : t =
+  {
+    i_file = dstr (dfield j "file");
+    i_key = dstr (dfield j "key");
+    i_flags = dstr (dfield j "flags");
+    i_actions = List.map action_of_json (darr (dfield j "actions"));
+    i_remarks = dstr (dfield j "remarks");
+    i_counters =
+      List.map
+        (fun kv ->
+          match darr kv with
+          | [ k; n ] -> (dstr k, dint n)
+          | _ -> fail "bad counter encoding")
+        (darr (dfield j "counters"));
+  }
+
+(** Verifying loader: schema check, checksum check, then structural
+    decode.  Total — every failure mode is a {!load_error}. *)
+let load (bytes : string) : (t, load_error) result =
+  match Json.parse bytes with
+  | exception Json.Parse_error m -> Error (Bad_json m)
+  | exception e -> Error (Bad_json (Printexc.to_string e))
+  | doc -> (
+      match (dfield doc "schema", dfield doc "checksum", dfield doc "payload") with
+      | exception Decode m -> Error (Malformed m)
+      | Json.Str schema, _, _ when schema <> schema_version ->
+          Error (Wrong_schema schema)
+      | _, Json.Str sum, Json.Str payload
+        when sum <> Digest.to_hex (Digest.string payload) ->
+          Error
+            (Corrupted
+               (Printf.sprintf "expected %s, found %s" sum
+                  (Digest.to_hex (Digest.string payload))))
+      | _, _, Json.Str payload -> (
+          match image_of_json (Json.parse payload) with
+          | img -> Ok img
+          | exception Decode m -> Error (Malformed m)
+          | exception Json.Parse_error m -> Error (Bad_json m)
+          | exception e -> Error (Malformed (Printexc.to_string e)))
+      | _ -> Error (Malformed "envelope fields must be strings"))

@@ -64,7 +64,11 @@ let lca_of paths root =
       let prefix = List.fold_left common first rest in
       (match List.rev prefix with x :: _ -> x | [] -> root)
 
-let counter = ref 0
+(* Domain-local, reset per hermetic file compile ([reset_counter]): the
+   generated CSE-<n> variable names reach listings and serialized
+   images, so the well must be deterministic. *)
+let counter : int ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref 0)
+let reset_counter () = S1_par.Dls.get counter := 0
 
 let children_transitive (n : node) =
   let acc = ref [] in
@@ -105,8 +109,9 @@ let eliminate_one (ts : Transcript.t) (root : node) : bool =
       let nodes = List.map fst entries and paths = List.map snd entries in
       let home = lca_of paths root in
       let before = Backtrans.to_string home in
-      incr counter;
-      let v = mkvar (Printf.sprintf "CSE-%d" !counter) in
+      let ctr = S1_par.Dls.get counter in
+      incr ctr;
+      let v = mkvar (Printf.sprintf "CSE-%d" !ctr) in
       let init = Freshen.copy template in
       List.iter
         (fun n ->

@@ -18,10 +18,12 @@ module Obs = S1_obs.Obs
 let eval (c : C.t) (src : string) : string =
   C.eval_print c (Reader.parse_string src)
 
-let with_pass_hook hook f =
-  let saved = !C.pass_hook in
-  C.pass_hook := hook;
-  Fun.protect ~finally:(fun () -> C.pass_hook := saved) f
+(* The hook is instance-scoped (a [C.t] field): arm it on the one
+   compiler under test and disarm on the way out. *)
+let with_pass_hook (c : C.t) hook f =
+  let saved = c.C.pass_hook in
+  c.C.pass_hook <- hook;
+  Fun.protect ~finally:(fun () -> c.C.pass_hook <- saved) f
 
 (* Traps ---------------------------------------------------------------------- *)
 
@@ -73,11 +75,10 @@ let test_bind_stack_overflow_unwinds () =
 (* capture the IR of one compiled unit via the pass hook *)
 let capture_tree src : Node.node =
   let captured = ref None in
-  with_pass_hook
+  let c = C.create () in
+  with_pass_hook c
     (fun pass root -> if pass = "simplify" && !captured = None then captured := Some root)
-    (fun () ->
-      let c = C.create () in
-      ignore (eval c src));
+    (fun () -> ignore (eval c src));
   match !captured with
   | Some n -> n
   | None -> Alcotest.fail "pass hook never fired"
@@ -124,11 +125,10 @@ let test_rollback_matches_disabled_pass () =
   Obs.reset ();
   let before = Obs.count "robust.pass_rollback" in
   let faulted =
-    with_pass_hook
+    let c = C.create () in
+    with_pass_hook c
       (fun pass _ -> if pass = "simplify" then failwith "injected")
-      (fun () ->
-        let c = C.create () in
-        eval c rollback_src)
+      (fun () -> eval c rollback_src)
   in
   let plain =
     let c = C.create ~rules:Rules.nothing () in
@@ -144,7 +144,7 @@ let test_rollback_matches_disabled_pass () =
 let test_rollback_records_incident () =
   let c = C.create () in
   let out =
-    with_pass_hook
+    with_pass_hook c
       (fun pass _ -> if pass = "repan" then failwith "injected repan fault")
       (fun () -> eval c rollback_src)
   in
@@ -156,7 +156,7 @@ let test_rollback_records_incident () =
 let test_strict_mode_escalates () =
   let c = C.create ~strict:true () in
   match
-    with_pass_hook
+    with_pass_hook c
       (fun pass _ -> if pass = "simplify" then failwith "injected")
       (fun () -> eval c rollback_src)
   with
