@@ -43,7 +43,26 @@
                                            compile through the content-addressed
                                            image cache, 4 domains wide; warm
                                            runs load serialized images and skip
-                                           every optimization pass
+                                           every optimization pass.  Exit 0 =
+                                           all clean, 2 = hard failure, 3 = all
+                                           succeeded but some degraded
+     s1lc --serve-batch --degrade --deadline-cycles 2000000 --max-retries 3 ...
+                                           supervised batch: per-unit cycle
+                                           deadlines, crashed units retry down
+                                           the degradation ladder (full ->
+                                           no-tnbind/pdl -> boxed -> interp)
+     s1lc --serve-batch --incidents j.jsonl ...
+                                           write the incident journal (schema
+                                           s1lisp.incidents/1): every trap,
+                                           deadline expiry, quarantined blob,
+                                           breaker trip, worker crash, with a
+                                           replayable repro each
+     s1lc --serve-chaos 12 --seed 11       chaos-batch smoke: seeded worker
+                                           kills, deadline overruns and blob
+                                           corruption over a warmed cache;
+                                           asserts isolation, byte-identical
+                                           unfaulted outputs, deterministic
+                                           journals
      s1lc --serve-fuzz 200 --seed 42       fuzz the cache path: cold vs warm
                                            vs interpreter agreement
      s1lc --no-tnbind --no-pdl ...         flip individual optimizations
@@ -167,7 +186,8 @@ let metrics_json ~(cpu : Cpu.t) ~(file_deltas : (string * (string * int) list) l
 let run phases listing transcript tns interpret repl stats timings profile metrics trace
     annotate folded trace_events remarks remarks_json diff_runs diff_threshold
     (rules, options) cse strict fuzz chaos seed fuzz_report serve_batch jobs cache_dir
-    cache_capacity serve_out serve_fuzz evals files =
+    cache_capacity serve_out serve_fuzz deadline_cycles max_retries degrade incidents
+    serve_chaos evals files =
   let module Remark = S1_obs.Remark in
   (* --diff-runs is a separate mode: compare two exported runs, compile
      nothing.  The two positional arguments are the JSON files. *)
@@ -198,13 +218,39 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       let report = Serve.fuzz ~seed ~count ?cache_dir () in
       print_string (Serve.fuzz_summary report);
       exit (if report.Serve.f_failures <> [] then 1 else 0));
+  (* --serve-chaos is the supervised service's smoke test: a fault-free
+     warm-up batch, then the same units re-batched under seeded worker
+     kills, one-cycle deadlines, and blob corruption; the invariants
+     (completion, byte-identical unfaulted outputs, one terminal
+     incident per fault, deterministic journals) are checked inside. *)
+  (match serve_chaos with
+  | None -> ()
+  | Some count ->
+      let module Sup = S1_serve.Supervise in
+      let dir =
+        match cache_dir with
+        | Some d -> d
+        | None -> Filename.concat (Filename.get_temp_dir_name ()) "s1lc-serve-chaos"
+      in
+      let report = Sup.chaos_smoke ~seed ~count ~jobs ~dir () in
+      (match incidents with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc report.Sup.k_journal;
+          close_out oc);
+      print_string (Sup.smoke_summary report);
+      exit (if report.Sup.k_failures <> [] then 1 else 0));
   (* --serve-batch is the compile-service driver: a content-addressed
-     image cache in front of the compiler, -j N domains wide.  Results
-     print in input order whatever the schedule; hit/miss markers go to
-     stderr so stdout carries exactly the programs' output and values. *)
+     image cache in front of the compiler, -j N domains wide, every unit
+     under the supervisor (deadlines, retry ladder, crash isolation).
+     Results print in input order whatever the schedule; hit/miss
+     markers go to stderr so stdout carries exactly the programs' output
+     and values. *)
   if serve_batch then begin
     let module Serve = S1_serve.Serve in
     let module Cache = S1_serve.Cache in
+    let module Sup = S1_serve.Supervise in
     if files = [] then begin
       Printf.eprintf "s1lc: --serve-batch needs at least one FILE\n";
       exit 2
@@ -212,10 +258,21 @@ let run phases listing transcript tns interpret repl stats timings profile metri
     Obs.reset ();
     List.iter (Obs.incr ~n:0)
       [ "serve.hits"; "serve.misses"; "serve.evictions"; "serve.stale";
-        "image.bytes_written"; "image.bytes_read" ];
+        "serve.quarantined"; "serve.readmitted"; "serve.breaker_open";
+        "serve.retries"; "serve.degraded"; "serve.deadline";
+        "serve.worker_crashes"; "image.bytes_written"; "image.bytes_read" ];
     let cache = Cache.create ?dir:cache_dir ~capacity:cache_capacity () in
     let cfg = { Serve.sv_rules = rules; sv_options = options; sv_cse = cse } in
-    let results = Serve.batch ~cache ~jobs cfg files in
+    let policy =
+      {
+        Sup.p_deadline = deadline_cycles;
+        p_max_retries = max_retries;
+        p_degrade = degrade;
+        p_fuel = None;
+      }
+    in
+    let report = Sup.batch ~cache ~policy ~jobs cfg files in
+    let results = List.map (fun s -> s.Sup.s_result) report.Sup.b_results in
     (match serve_out with
     | None -> ()
     | Some dir ->
@@ -231,23 +288,29 @@ let run phases listing transcript tns interpret repl stats timings profile metri
               close_out oc
             end)
           results);
-    let failed = ref false in
+    (match incidents with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Sup.journal report);
+        close_out oc);
     List.iter
-      (fun r ->
-        Printf.eprintf "%s %s %s\n"
+      (fun s ->
+        let r = s.Sup.s_result in
+        Printf.eprintf "%s %s %s%s\n"
           (if r.Serve.r_hit then "[hit] " else "[miss]")
           (if r.Serve.r_key = "" then String.make 12 '-'
            else String.sub r.Serve.r_key 0 12)
-          r.Serve.r_file;
+          r.Serve.r_file
+          (if Sup.degraded s then " [" ^ s.Sup.s_disposition ^ "]" else "");
         match r.Serve.r_exec with
         | Some e ->
             if e.Serve.e_output <> "" then print_string e.Serve.e_output;
             print_endline e.Serve.e_value
         | None ->
-            failed := true;
             Printf.eprintf "s1lc: %s: %s\n" r.Serve.r_file
               (S1_fuzz.Oracle.outcome_string r.Serve.r_outcome))
-      results;
+      report.Sup.b_results;
     (match metrics with
     | None -> ()
     | Some file ->
@@ -281,7 +344,12 @@ let run phases listing transcript tns interpret repl stats timings profile metri
         output_string oc (Json.to_string doc);
         output_char oc '\n';
         close_out oc);
-    exit (if !failed then 1 else 0)
+    (* 0 = every unit clean; 2 = at least one unit failed for good;
+       3 = everything succeeded but some only at a degraded rung *)
+    exit
+      (if Sup.hard_failure report then 2
+       else if Sup.all_ok_some_degraded report then 3
+       else 0)
   end;
   (* parse --remarks=KINDS before doing any work, so a typo fails fast *)
   let remark_kinds =
@@ -323,7 +391,9 @@ let run phases listing transcript tns interpret repl stats timings profile metri
       "heap.gc.collections"; "heap.gc.words_swept"; "heap.gc.pause_cycles";
       "heap.certified_escapes"; "machine.calls"; "machine.tcalls"; "machine.stack_high";
       "machine.bind_high"; "serve.hits"; "serve.misses"; "serve.evictions";
-      "serve.stale"; "image.bytes_written"; "image.bytes_read" ];
+      "serve.stale"; "serve.quarantined"; "serve.readmitted"; "serve.breaker_open";
+      "serve.retries"; "serve.degraded"; "serve.deadline"; "serve.worker_crashes";
+      "image.bytes_written"; "image.bytes_read" ];
   Cpu.reset_stats c.C.rt.Rt.cpu;
   (* --annotate needs per-PC cycle counts and the loaded programs *)
   if profile || annotate then Cpu.enable_profile c.C.rt.Rt.cpu;
@@ -473,7 +543,7 @@ let run phases listing transcript tns interpret repl stats timings profile metri
        done
      with Exit | End_of_file -> ())
   end;
-  (* machine-level counters join the metrics schema (s1lisp.metrics/5)
+  (* machine-level counters join the metrics schema (s1lisp.metrics/6)
      after execution, so --timings/--metrics/--diff-runs see them *)
   let () =
     let s = c.C.rt.Rt.cpu.Cpu.stats in
@@ -776,7 +846,11 @@ let serve_batch =
               content-addressed image cache (key = source bytes + optimization-lattice \
               flags + image schema) in front of the compiler, $(b,-j) domains wide.  \
               Program output and values print to stdout in input order regardless of \
-              scheduling; [hit]/[miss] markers go to stderr.")
+              scheduling; [hit]/[miss] markers go to stderr.  Every unit runs under the \
+              supervisor: worker-domain crashes are isolated and the batch always \
+              completes.  Exit status: 0 when every unit compiled clean, 2 when any \
+              unit failed for good, 3 when all units succeeded but at least one only \
+              at a degraded rung (see $(b,--degrade)).")
 
 let jobs =
   Arg.(
@@ -791,8 +865,12 @@ let cache_dir =
     & opt (some string) None
     & info [ "cache-dir" ] ~docv:"DIR"
         ~doc:"On-disk image store for $(b,--serve-batch)/$(b,--serve-fuzz) (created if \
-              missing).  Entries are verified before being served: a corrupt or stale \
-              blob counts as a miss and is deleted.")
+              missing).  Entries are verified before being served: a genuinely stale \
+              blob (older schema, foreign key) counts as a miss and is deleted; a \
+              corrupt or torn blob counts as a miss and is quarantined under \
+              $(docv)/quarantine/ for post-mortem, with a bounded re-verify that \
+              readmits blobs whose corruption was transient.  Keys that keep failing \
+              trip a per-key circuit breaker and stop touching the disk.")
 
 let cache_capacity =
   Arg.(
@@ -806,7 +884,7 @@ let serve_out =
     & opt (some string) None
     & info [ "serve-out" ] ~docv:"DIR"
         ~doc:"With $(b,--serve-batch): write each input's serialized image (schema \
-              s1lisp.image/1) to $(docv)/<basename>.image.  Images are \
+              s1lisp.image/2) to $(docv)/<basename>.image.  Images are \
               byte-deterministic, so two runs over the same sources and flags produce \
               byte-identical trees — $(b,cmp) them in CI.")
 
@@ -819,6 +897,61 @@ let serve_fuzz =
               compiled cold then warm from its own cached image; both runs must agree \
               with the interpreter oracle and with each other.  Exits non-zero on any \
               disagreement or failed warm hit.")
+
+let deadline_cycles =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-cycles" ] ~docv:"N"
+        ~doc:"Per-unit cycle budget for $(b,--serve-batch): a unit whose simulated \
+              execution (including macroexpansion, DEFVAR initialization, and toplevel \
+              effects) exceeds $(docv) cycles is stopped with a deadline trap, logged \
+              to the incident journal, and retried per the supervision policy.")
+
+let max_retries =
+  Arg.(
+    value & opt int S1_serve.Supervise.default_policy.S1_serve.Supervise.p_max_retries
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"With $(b,--serve-batch): maximum retries per unit after a crash or \
+              deadline expiry.  Each retry descends one rung of the degradation \
+              ladder, so without $(b,--degrade) a crashed unit fails fast.")
+
+let degrade =
+  Arg.(
+    value & flag
+    & info [ "degrade" ]
+        ~doc:"With $(b,--serve-batch): on a crash or deadline expiry, retry the unit \
+              down the degradation ladder — full optimization, then \
+              $(b,--no-tnbind --no-pdl), then boxed unoptimized code, then an \
+              interpreter-only stub.  A unit that only succeeds degraded is recorded \
+              as such in its image envelope, the remark journal, and the incident \
+              journal, and the batch exits 3 instead of 0.")
+
+let incidents =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "incidents" ] ~docv:"FILE"
+        ~doc:"With $(b,--serve-batch) or $(b,--serve-chaos): write the incident \
+              journal (schema s1lisp.incidents/1, one JSON object per line) to \
+              $(docv).  Every trap, deadline expiry, quarantined blob, breaker trip, \
+              and worker crash appears with provenance, retry count, final \
+              disposition, and a replayable repro (source, lattice flags, seed).  \
+              Byte-deterministic for a fixed input set and seed.")
+
+let serve_chaos =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve-chaos" ] ~docv:"N"
+        ~doc:"Chaos-batch smoke test of the supervised compile service: $(docv) seeded \
+              programs (uses $(b,--seed)) are first batched fault-free to warm the \
+              cache, then re-batched with seeded worker kills, one-cycle deadlines, \
+              and blob corruption injected.  Asserts the batch completes, unfaulted \
+              units are byte-identical to the fault-free run, every faulted unit logs \
+              exactly one terminal incident, and two identical runs produce \
+              byte-identical journals and counter deltas.  Exits non-zero on any \
+              violation.")
 
 let evals =
   Arg.(value & opt_all string [] & info [ "eval"; "e" ] ~docv:"FORM" ~doc:"Evaluate $(docv).")
@@ -834,6 +967,7 @@ let cmd =
       $ profile $ metrics $ trace $ annotate $ folded $ trace_events $ remarks
       $ remarks_json $ diff_runs $ diff_threshold $ config_term $ cse $ strict $ fuzz
       $ chaos $ seed $ fuzz_report $ serve_batch $ jobs $ cache_dir $ cache_capacity
-      $ serve_out $ serve_fuzz $ evals $ files)
+      $ serve_out $ serve_fuzz $ deadline_cycles $ max_retries $ degrade $ incidents
+      $ serve_chaos $ evals $ files)
 
 let () = exit (Cmd.eval cmd)

@@ -169,6 +169,100 @@ let specials_pred (c : t) name =
       Obj.symbol_is_special c.rt.Rt.obj sym
   | _ -> false
 
+(* Graceful degradation -------------------------------------------------------- *)
+
+(* The supervised compile service's retry ladder, built on the same
+   optimization lattice the per-pass rollback degrades along: a unit
+   that fails (trap, deadline, rollback exhaustion) at one rung is
+   re-attempted at the next, strictly safer, one.  [Interp_stub] is the
+   floor — no compilation at all, the reference interpreter runs the
+   source — and maps to no lattice point. *)
+type degrade_level =
+  | Full_opt  (** the configuration the caller asked for *)
+  | Safe_opt  (** TNBIND and pdl numbers off: no register packing, no
+                  unboxed stack numbers — the two machine-dependent
+                  annotations with the largest blast radius *)
+  | Boxed  (** no source rewrites, every value a checked POINTER — the
+               certified fallback the per-pass rollback also lands on *)
+  | Interp_stub  (** interpreter-only: semantics without code *)
+
+let degrade_ladder = [ Full_opt; Safe_opt; Boxed; Interp_stub ]
+
+let degrade_name = function
+  | Full_opt -> "full"
+  | Safe_opt -> "no-tnbind-pdl"
+  | Boxed -> "boxed"
+  | Interp_stub -> "interp"
+
+(** The lattice point a ladder rung compiles at, as (rules, options,
+    cse) over the caller's requested configuration; [None] for the
+    interpreter floor. *)
+let degrade_config level ((rules : Rules.config), (options : Gen.options), cse) =
+  match level with
+  | Full_opt -> Some (rules, options, cse)
+  | Safe_opt ->
+      Some (rules, { options with Gen.use_tnbind = false; pdl_numbers = false }, cse)
+  | Boxed ->
+      Some
+        ( Rules.nothing,
+          {
+            Gen.checked = true;
+            use_tnbind = false;
+            pdl_numbers = false;
+            cache_specials = false;
+            inline_prims = false;
+            peephole = false;
+          },
+          false )
+  | Interp_stub -> None
+
+(* Transactional loads --------------------------------------------------------- *)
+
+(* Everything a warm-image replay (or any toplevel load) can write into
+   the world's symbol/cell state: the static region (symbol objects,
+   value/function/plist cells, special flags, interned constants), the
+   code store with its symbol ranges and PC line maps, the obarray, the
+   macro table, and the runtime gensym counter.  Restoring makes a
+   failed load a clean no-op {e byte-for-byte}: re-interning the same
+   names afterwards lands at the same static addresses and the same code
+   origins, so determinism survives the rollback.  Heap effects of the
+   aborted prefix are not undone — objects it allocated become
+   unreachable garbage once the static roots are rewound. *)
+type world_snapshot = {
+  ws_static : int array;
+  ws_code_mark : int;
+  ws_symbols : (int * int * string) list;
+  ws_segments : (int * int * Asm.mark array) list;
+  ws_obarray : (string * int) list;
+  ws_macros : (string * int) list;
+  ws_gensym : int;
+}
+
+let snapshot_world (c : t) : world_snapshot =
+  let cpu = c.rt.Rt.cpu in
+  {
+    ws_static = Mem.static_snapshot c.rt.Rt.mem;
+    ws_code_mark = Cpu.code_mark cpu;
+    ws_symbols = cpu.Cpu.symbols;
+    ws_segments = cpu.Cpu.mark_segments;
+    ws_obarray = Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.rt.Rt.obarray [];
+    ws_macros = Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.macros [];
+    ws_gensym = c.rt.Rt.gensym_counter;
+  }
+
+let restore_world (c : t) (ws : world_snapshot) : unit =
+  let rt = c.rt in
+  let cpu = rt.Rt.cpu in
+  Mem.static_restore rt.Rt.mem ws.ws_static;
+  Cpu.code_release cpu ws.ws_code_mark;
+  cpu.Cpu.symbols <- ws.ws_symbols;
+  cpu.Cpu.mark_segments <- ws.ws_segments;
+  Hashtbl.reset rt.Rt.obarray;
+  List.iter (fun (k, v) -> Hashtbl.replace rt.Rt.obarray k v) ws.ws_obarray;
+  Hashtbl.reset c.macros;
+  List.iter (fun (k, v) -> Hashtbl.replace c.macros k v) ws.ws_macros;
+  rt.Rt.gensym_counter <- ws.ws_gensym
+
 (* Pass isolation ------------------------------------------------------------- *)
 
 (* Strip every machine-dependent annotation back to the fully boxed

@@ -244,6 +244,53 @@ let run ~seed ~count () : report =
   done;
   { c_seed = seed; c_count = count; c_faults = !faults; c_failures = List.rev !failures }
 
+(* Batch faults ---------------------------------------------------------- *)
+
+(* Fault plan for supervised batch runs ({!S1_serve.Supervise}): each
+   unit of a chaos batch draws at most one fault, derived from (seed,
+   index) alone so two runs with the same seed inject the identical
+   fault sequence — the acceptance bar for the chaos smoke is that such
+   runs produce byte-identical incident journals. *)
+
+exception Worker_kill
+(** Simulated worker-domain death: raised from inside a batch unit,
+    deliberately outside the structured-outcome taxonomy so only the
+    supervisor's crash isolation can contain it. *)
+
+type batch_fault =
+  | Bnone
+  | Bkill  (** raise {!Worker_kill} from inside the unit *)
+  | Bdeadline  (** starvation-sized cycle deadline on the first attempt *)
+  | Bcorrupt  (** flip bytes in the unit's cached blob before lookup *)
+
+let batch_fault_name = function
+  | Bnone -> "none"
+  | Bkill -> "worker-kill"
+  | Bdeadline -> "deadline-overrun"
+  | Bcorrupt -> "blob-corrupt"
+
+(** The fault unit [index] draws under master [seed].  Roughly half the
+    units run fault-free so the smoke can also assert non-interference:
+    unfaulted units must come out byte-identical to a fault-free run. *)
+let batch_fault_for ~seed ~index : batch_fault =
+  let r = Prng.create ((seed * 0x9e3779b9) lxor (index * 2 + 1)) in
+  if Prng.chance r 1 2 then Bnone
+  else Prng.choose r [ Bkill; Bdeadline; Bcorrupt ]
+
+(** Flip one byte in the middle of a cached blob on disk, in place —
+    the torn/corrupt-write the cache's quarantine path must absorb.
+    No-op if the blob does not exist. *)
+let corrupt_blob (path : string) : unit =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ()
+  | bytes when String.length bytes = 0 -> ()
+  | bytes ->
+      let b = Bytes.of_string bytes in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc b)
+
 let summary (r : report) : string =
   let b = Buffer.create 256 in
   Printf.bprintf b "chaos: %d programs, seed %d, %d faults injected: %d contract violation%s\n"

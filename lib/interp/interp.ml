@@ -48,6 +48,11 @@ type t = {
   mutable closures : closure_entry array;
   mutable n_closures : int;
   trampoline : int;  (** code object word for the interpreter stub *)
+  macros : (string, int) Hashtbl.t;
+      (** DEFMACRO expanders: macro name -> interpreted closure word.
+          Mirrors {!S1_core.Compiler.t.macros} so the differential
+          oracle can replay DEFMACRO-bearing corpus files on both
+          engines. *)
   mutable fuel : int;
       (** remaining evaluation steps; negative means unlimited.  The
           differential fuzzer sets this so that a non-terminating shrink
@@ -77,7 +82,7 @@ let create rt =
       in
       let it =
         { rt; consts = Hashtbl.create 64; closures = [||]; n_closures = 0; trampoline;
-          fuel = -1 }
+          macros = Hashtbl.create 8; fuel = -1 }
       in
       let tbl = S1_par.Dls.get instances in
       tbl := (rt, it) :: !tbl;
@@ -86,6 +91,7 @@ let create rt =
       Heap.set_extra_roots rt.Rt.heap (fun () ->
           let acc = ref rt.Rt.protected in
           Hashtbl.iter (fun _ w -> acc := w :: !acc) it.consts;
+          Hashtbl.iter (fun _ w -> acc := w :: !acc) it.macros;
           for i = 0 to it.n_closures - 1 do
             List.iter (fun (_, cell) -> acc := !cell :: !acc) it.closures.(i).ce_env
           done;
@@ -355,15 +361,52 @@ let specials_pred it name =
       Obj.symbol_is_special it.rt.Rt.obj sym
   | _ -> false
 
+(* Same contract as {!S1_core.Compiler.macros_pred}: the expander is
+   applied to the unevaluated argument forms (as values) and the
+   resulting value is read back as a form. *)
+let macros_pred it name =
+  match Hashtbl.find_opt it.macros name with
+  | None -> None
+  | Some fobj ->
+      Some
+        (fun (args : Sexp.t list) ->
+          let argv = List.map (fun a -> Rt.sexp_to_value it.rt a) args in
+          let result =
+            Rt.with_protected it.rt argv (fun () -> Rt.call it.rt fobj argv)
+          in
+          Rt.value_to_sexp it.rt result)
+
 let eval_sexp it sexp =
   match sexp with
   | Sexp.List (Sexp.Sym "DEFUN" :: Sexp.Sym name :: _) ->
-      let _, lam_node = S1_frontend.Convert.defun ~specials:(specials_pred it) sexp in
+      let _, lam_node =
+        S1_frontend.Convert.defun ~specials:(specials_pred it)
+          ~macros:(macros_pred it) sexp
+      in
       define_function it name lam_node
+  | Sexp.List (Sexp.Sym "DEFMACRO" :: Sexp.Sym name :: Sexp.List params :: body)
+    ->
+      (* the expander is an ordinary interpreted closure over the raw
+         argument forms, exactly as the compiler builds a compiled one *)
+      let expander_form =
+        Sexp.List
+          (Sexp.Sym "DEFUN" :: Sexp.Sym ("%MACRO-" ^ name) :: Sexp.List params :: body)
+      in
+      let _, lam_node =
+        S1_frontend.Convert.defun ~specials:(specials_pred it)
+          ~macros:(macros_pred it) expander_form
+      in
+      let fobj = eval it [] lam_node in
+      Hashtbl.replace it.macros name fobj;
+      Rt.intern it.rt name
   | Sexp.List [ Sexp.Sym "DEFVAR"; Sexp.Sym name; init ] ->
       let sym = Rt.intern it.rt name in
       Rt.proclaim_special it.rt sym;
-      let v = eval it [] (S1_frontend.Convert.expression ~specials:(specials_pred it) init) in
+      let v =
+        eval it []
+          (S1_frontend.Convert.expression ~specials:(specials_pred it)
+             ~macros:(macros_pred it) init)
+      in
       Rt.set_symbol_value_dynamic it.rt sym v;
       sym
   | Sexp.List
@@ -375,7 +418,10 @@ let eval_sexp it sexp =
           | _ -> ())
         names;
       it.rt.Rt.nil
-  | _ -> eval_node it (S1_frontend.Convert.expression ~specials:(specials_pred it) sexp)
+  | _ ->
+      eval_node it
+        (S1_frontend.Convert.expression ~specials:(specials_pred it)
+           ~macros:(macros_pred it) sexp)
 
 let eval_string it src =
   let forms = S1_sexp.Reader.parse_string src in

@@ -72,6 +72,13 @@ type t = {
       (** (lo, hi, marks ascending by address): PC line maps of loaded
           programs, hi exclusive; newest first.  Loads without marks (the
           runtime's hand-written stubs) contribute no segment. *)
+  mutable deadline : int option;
+      (** watchdog: absolute [stats.cycles] value past which any {!run}
+          — including nested re-entries from macroexpanders and toplevel
+          effects — traps {!Deadline_expired}.  Unlike [fuel], which is a
+          per-run allowance, the deadline is a cumulative budget for a
+          whole job, so a unit cannot dodge it by spreading work across
+          many small calls. *)
 }
 
 (* Machine faults are structured traps, not bare strings: a long-lived
@@ -86,6 +93,7 @@ type trap_kind =
   | Bind_stack_overflow
   | Heap_exhaustion
   | Fuel_exhaustion
+  | Deadline_expired
   | Illegal_instruction
   | Bad_address
   | Wrong_type
@@ -97,6 +105,7 @@ let trap_kind_name = function
   | Bind_stack_overflow -> "bind-stack-overflow"
   | Heap_exhaustion -> "heap-exhausted"
   | Fuel_exhaustion -> "fuel-exhausted"
+  | Deadline_expired -> "deadline-expired"
   | Illegal_instruction -> "illegal-instruction"
   | Bad_address -> "bad-address"
   | Wrong_type -> "wrong-type"
@@ -142,6 +151,7 @@ let create ?mem () =
       callgraph = None;
       symbols = [];
       mark_segments = [];
+      deadline = None;
     }
   in
   (* Code address 0 is the universal halt used as the host's return
@@ -1146,14 +1156,38 @@ let run ?(fuel = 500_000_000) cpu ~at =
   cpu.pc <- at;
   cpu.halted <- false;
   let start = cpu.stats.cycles in
-  while (not cpu.halted) && cpu.stats.cycles - start < fuel do
+  let fuel_limit = start + fuel in
+  let limit =
+    match cpu.deadline with Some d -> min d fuel_limit | None -> fuel_limit
+  in
+  while (not cpu.halted) && cpu.stats.cycles < limit do
     (* Mem raises Failure on out-of-range addresses; a wild pointer in a
        miscompiled program must surface as a structured trap, not as an
        untyped host exception. *)
     try step cpu
     with Failure m -> trap cpu Bad_address "%s" m
   done;
-  if not cpu.halted then trap cpu Fuel_exhaustion "fuel exhausted after %d cycles" fuel
+  if not cpu.halted then
+    match cpu.deadline with
+    | Some d when cpu.stats.cycles >= d ->
+        (* No cycle counts in the message: the same deadline must render
+           identically whether it fires during a cold compile or a warm
+           replay, so incident journals stay byte-deterministic. *)
+        trap cpu Deadline_expired "watchdog cycle deadline expired"
+    | _ -> trap cpu Fuel_exhaustion "fuel exhausted after %d cycles" fuel
+
+(* Rollback support for transactional loads: a mark taken before a load
+   and released after a failure truncates the code store and drops the
+   symbol ranges and PC line maps of everything loaded past the mark, so
+   a re-load lands at the same addresses with the same provenance. *)
+let code_mark cpu = cpu.code_len
+
+let code_release cpu mark =
+  if mark >= 0 && mark <= cpu.code_len then begin
+    cpu.code_len <- mark;
+    cpu.symbols <- List.filter (fun (lo, _, _) -> lo < mark) cpu.symbols;
+    cpu.mark_segments <- List.filter (fun (lo, _, _) -> lo < mark) cpu.mark_segments
+  end
 
 let call_function ?fuel cpu ~fobj ~args =
   List.iter (fun v -> push cpu v) args;

@@ -84,6 +84,11 @@ type t = {
   mutable mark_segments : (int * int * Asm.mark array) list;
       (** (lo, hi, marks): PC line maps per loaded image, hi exclusive;
           lookups never cross a segment boundary *)
+  mutable deadline : int option;
+      (** watchdog: absolute [stats.cycles] value past which any {!run}
+          — nested re-entries from macroexpanders and toplevel effects
+          included — traps {!Deadline_expired}.  A cumulative per-job
+          budget, unlike the per-run [fuel] allowance. *)
 }
 
 (** {1 Traps}
@@ -99,6 +104,9 @@ type trap_kind =
   | Bind_stack_overflow  (** special-binding (deep-binding) stack full *)
   | Heap_exhaustion  (** allocation failed even after a full GC *)
   | Fuel_exhaustion
+  | Deadline_expired
+      (** the cumulative cycle watchdog ({!t.deadline}) expired — the
+          supervised compile service's per-unit deadline *)
   | Illegal_instruction  (** unresolved label, malformed operand *)
   | Bad_address  (** pc or memory access outside the mapped regions *)
   | Wrong_type  (** value of the wrong representation reached a raw op *)
@@ -141,7 +149,18 @@ val step : t -> unit
 
 val run : ?fuel:int -> t -> at:int -> unit
 (** Start execution at a code address and run to [Halt].
-    @raise Trap when fuel (default 500M cycles) is exhausted. *)
+    @raise Trap when fuel (default 500M cycles) is exhausted, or with
+    kind {!Deadline_expired} when the cumulative watchdog ({!t.deadline})
+    fires first. *)
+
+val code_mark : t -> int
+(** Current end of the code store; pass to {!code_release} to roll a
+    failed load back. *)
+
+val code_release : t -> int -> unit
+(** Truncate the code store to a {!code_mark}, dropping symbol ranges
+    and PC line maps loaded past it, so a re-load lands at the same
+    addresses with the same provenance. *)
 
 val call_function : ?fuel:int -> t -> fobj:int -> args:int list -> int
 (** Host-side entry: push [args], [CALL] the function object, run until

@@ -237,8 +237,15 @@ let stack_word_floor = 16
 (* Compile-service counters gate too: between comparable runs, new
    cache misses or any stale blob mean content addressing stopped
    holding, and serialized-image growth past the threshold means the
-   compiled programs themselves got bigger. *)
-let serve_gated_counters = [ "serve.misses"; "serve.stale" ]
+   compiled programs themselves got bigger.  The supervision incident
+   family (quarantined blobs, open breakers, degraded or deadline-hit
+   units, dead workers, retries) gates the same way: a healthy baseline
+   has zero of each, so any appearance is a regression regardless of
+   percentage. *)
+let serve_gated_counters =
+  [ "serve.misses"; "serve.stale"; "serve.quarantined"; "serve.readmitted";
+    "serve.breaker_open"; "serve.retries"; "serve.degraded"; "serve.deadline";
+    "serve.worker_crashes" ]
 let serve_miss_floor = 1
 let image_gated_counters = [ "image.bytes_written" ]
 let image_byte_floor = 4096

@@ -160,8 +160,10 @@ let pp_counters fmt ?(t = default ()) () =
    allocation totals) when the shadow call stack is enabled.  /5 adds
    the compile-service counters (serve.hits, serve.misses,
    serve.evictions, serve.stale, image.bytes_written, image.bytes_read)
-   to the fixed set. *)
-let schema_version = "s1lisp.metrics/5"
+   to the fixed set.  /6 adds the supervision counters (serve.retries,
+   serve.degraded, serve.deadline, serve.quarantined, serve.readmitted,
+   serve.breaker_open, serve.worker_crashes). *)
+let schema_version = "s1lisp.metrics/6"
 
 let json ?(t = default ()) () : Json.t =
   Json.Obj

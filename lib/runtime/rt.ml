@@ -226,6 +226,18 @@ let call rt fobj args =
       Cpu.shadow_truncate cpu saved_shadow)
     (fun () -> Cpu.call_function ?fuel:rt.fuel cpu ~fobj ~args)
 
+(* Supervision: arm the CPU watchdog for the dynamic extent of [f].  The
+   budget is cumulative over every nested simulator run — macroexpander
+   calls, DEFVAR initializers, toplevel effects — so a compile job
+   cannot dodge its deadline by spreading work across many small calls.
+   Nests conservatively: an enclosing tighter deadline stays in force. *)
+let with_deadline rt ~cycles f =
+  let cpu = rt.cpu in
+  let saved = cpu.Cpu.deadline in
+  let d = cpu.Cpu.stats.Cpu.cycles + cycles in
+  cpu.Cpu.deadline <- Some (match saved with Some d0 -> min d0 d | None -> d);
+  Fun.protect ~finally:(fun () -> cpu.Cpu.deadline <- saved) f
+
 (* Frame argument access for native handlers. *)
 let frame_args rt =
   let cpu = rt.cpu in

@@ -126,6 +126,14 @@ val call : t -> int -> int list -> int
     simulator; safe to use reentrantly from native handlers (FUNCALL,
     MAPCAR). *)
 
+val with_deadline : t -> cycles:int -> (unit -> 'a) -> 'a
+(** Arm the CPU watchdog ({!S1_machine.Cpu.t.deadline}) for the dynamic
+    extent of the thunk: a cumulative cycle budget over every nested
+    simulator run (macroexpanders, DEFVAR initializers, toplevel
+    effects).  Expiry raises a {!S1_machine.Cpu.Trap} with kind
+    [Deadline_expired].  Nests conservatively — an enclosing tighter
+    deadline stays in force. *)
+
 (** {1 GC protection} *)
 
 val protect : t -> int -> unit

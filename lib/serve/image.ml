@@ -1,4 +1,4 @@
-(** Serialized compiled units: the [s1lisp.image/1] on-disk format.
+(** Serialized compiled units: the [s1lisp.image/2] on-disk format.
 
     An image is everything the compile service needs to reinstate a
     compiled file into a {e different} live world than the one it was
@@ -19,8 +19,13 @@
     image trees are sound.
 
     The loader is total: [load] returns a typed {!load_error} — wrong
-    schema, checksum mismatch, malformed structure — and never lets an
-    exception escape. *)
+    schema, checksum mismatch, torn write, malformed structure — and
+    never lets an exception escape.
+
+    [/2] over [/1]: the envelope payload records the degradation rung
+    ([degraded]) the supervised service compiled the unit at ("" for a
+    full-strength compile), so a warm load can surface that the cached
+    code is a fallback artifact. *)
 
 module Json = S1_obs.Json
 module Isa = S1_machine.Isa
@@ -29,7 +34,14 @@ module Tags = S1_machine.Tags
 module Sexp = S1_sexp.Sexp
 module Loc = S1_loc.Loc
 
-let schema_version = "s1lisp.image/1"
+let schema_version = "s1lisp.image/2"
+
+(* Every envelope this module has ever written starts with this byte
+   sequence (compact printing, fixed field order).  A blob that starts
+   like an envelope but no longer parses is a torn or truncated write —
+   corruption the checksum cannot flag because the checksum itself went
+   with the tail. *)
+let envelope_prefix = "{\"schema\":\"s1lisp.image/"
 
 (* Sentinels ------------------------------------------------------------ *)
 
@@ -83,6 +95,10 @@ type t = {
   i_file : string;  (** source path, informative only *)
   i_key : string;  (** content-address this image was stored under *)
   i_flags : string;  (** canonical optimization-lattice string *)
+  i_degraded : string;
+      (** degradation rung the supervised service compiled this unit at
+          ("" = full strength): the envelope records that the code is a
+          retry-ladder fallback artifact *)
   i_actions : action list;
   i_remarks : string;  (** the cold compile's remark journal (JSONL) *)
   i_counters : (string * int) list;  (** the cold compile's counter delta *)
@@ -307,6 +323,7 @@ let json_of_image (i : t) : Json.t =
       ("file", jstr i.i_file);
       ("key", jstr i.i_key);
       ("flags", jstr i.i_flags);
+      ("degraded", jstr i.i_degraded);
       ("actions", Json.Arr (List.map json_of_action i.i_actions));
       ("remarks", jstr i.i_remarks);
       ( "counters",
@@ -528,6 +545,7 @@ let image_of_json (j : Json.t) : t =
     i_file = dstr (dfield j "file");
     i_key = dstr (dfield j "key");
     i_flags = dstr (dfield j "flags");
+    i_degraded = dstr (dfield j "degraded");
     i_actions = List.map action_of_json (darr (dfield j "actions"));
     i_remarks = dstr (dfield j "remarks");
     i_counters =
@@ -542,9 +560,23 @@ let image_of_json (j : Json.t) : t =
 (** Verifying loader: schema check, checksum check, then structural
     decode.  Total — every failure mode is a {!load_error}. *)
 let load (bytes : string) : (t, load_error) result =
+  (* Torn-write detection beyond the checksum: a blob that starts like
+     an envelope but fails to parse was cut mid-write — the checksum
+     field is inside the JSON, so truncation takes the evidence with it.
+     Classified [Corrupted], not [Bad_json]: the cache quarantines
+     corruption but only deletes mere staleness. *)
+  let looks_like_envelope =
+    String.length bytes >= String.length envelope_prefix
+    && String.sub bytes 0 (String.length envelope_prefix) = envelope_prefix
+  in
+  let parse_failure m =
+    if looks_like_envelope then
+      Error (Corrupted ("torn or truncated envelope: " ^ m))
+    else Error (Bad_json m)
+  in
   match Json.parse bytes with
-  | exception Json.Parse_error m -> Error (Bad_json m)
-  | exception e -> Error (Bad_json (Printexc.to_string e))
+  | exception Json.Parse_error m -> parse_failure m
+  | exception e -> parse_failure (Printexc.to_string e)
   | doc -> (
       match (dfield doc "schema", dfield doc "checksum", dfield doc "payload") with
       | exception Decode m -> Error (Malformed m)

@@ -1,0 +1,140 @@
+(** The incident journal: every fault the supervised compile service
+    survives — machine trap, deadline expiry, pass-rollback exhaustion,
+    cache quarantine, circuit-breaker trip, worker-domain crash — lands
+    here as one structured record, persisted as JSONL under schema
+    {!schema_version}.
+
+    Design constraints, in order:
+
+    - {b replayable}: a record carries everything needed to reproduce
+      the incident from scratch — the source (path, or the generated
+      program's seed), the canonical lattice flags of the failing
+      attempt, and the provenance loc of the faulting instruction;
+    - {b byte-deterministic}: no timestamps, no host data, sequence
+      numbers assigned at render time in input order — two identical
+      runs must produce byte-identical journals;
+    - {b exactly one terminal record per faulted unit}: attempts along
+      the retry ladder log non-final records; the supervisor marks the
+      last one final and stamps the unit's disposition on it.
+
+    Collection is domain-local (see {!S1_par.Dls}): the cache and the
+    job wrapper call {!record} from wherever a fault surfaces, and the
+    supervisor scopes a sink around each unit with {!with_sink}, so
+    concurrent batch workers cannot interleave journals. *)
+
+module Json = S1_obs.Json
+module Loc = S1_loc.Loc
+
+let schema_version = "s1lisp.incidents/1"
+
+type t = {
+  n_kind : string;
+      (** "trap" | "deadline" | "rollback-exhausted" | "quarantine"
+          | "breaker-open" | "worker-crash" | "io" *)
+  n_file : string;  (** source path (or pseudo-path of a generated unit) *)
+  n_key : string;  (** content address of the attempt; "" when unknown *)
+  n_rung : string;  (** degradation rung of the attempt ({!S1_core.Compiler.degrade_name}) *)
+  n_attempt : int;  (** 0-based attempt number along the retry ladder *)
+  n_detail : string;  (** one-line human rendering of the fault *)
+  n_loc : Loc.t option;  (** provenance of the faulting instruction *)
+  mutable n_flags : string;
+      (** canonical lattice flags of the attempt (repro).  Mutable: a
+          layer that records without knowing them (the cache) leaves ""
+          and the supervisor stamps the unit's flags in afterwards *)
+  mutable n_seed : int option;
+      (** generator/chaos seed when the unit is synthetic (repro);
+          mutable for the same supervisor stamping *)
+  mutable n_final : bool;  (** the unit's terminal record *)
+  mutable n_disposition : string;
+      (** "" until terminal; then "ok" | "degraded:<rung>" | "failed" *)
+}
+
+let make ~kind ~file ?(key = "") ?(rung = "full") ?(attempt = 0) ?(detail = "")
+    ?loc ?(flags = "") ?seed () =
+  {
+    n_kind = kind;
+    n_file = file;
+    n_key = key;
+    n_rung = rung;
+    n_attempt = attempt;
+    n_detail = detail;
+    n_loc = loc;
+    n_flags = flags;
+    n_seed = seed;
+    n_final = false;
+    n_disposition = "";
+  }
+
+(* Domain-local sink: [None] (no supervisor scope) drops records — a
+   bare [Serve.compile_file] outside the supervisor stays journal-free. *)
+let sink : t list ref option ref S1_par.Dls.t = S1_par.Dls.create (fun () -> ref None)
+
+let record (inc : t) : unit =
+  match !(S1_par.Dls.get sink) with Some acc -> acc := inc :: !acc | None -> ()
+
+(** Run [f] with a fresh sink; returns its value and the incidents
+    recorded during it, oldest first.  Nests: the enclosing sink is
+    restored (and does {e not} see the inner records — each unit owns
+    its incidents). *)
+let with_sink (f : unit -> 'a) : 'a * t list =
+  let cell = S1_par.Dls.get sink in
+  let saved = !cell in
+  let acc = ref [] in
+  cell := Some acc;
+  match f () with
+  | v ->
+      cell := saved;
+      (v, List.rev !acc)
+  | exception e ->
+      cell := saved;
+      raise e
+
+(** Mark the unit's terminal record: the last incident (if any) becomes
+    final and carries the unit's disposition. *)
+let mark_terminal ~disposition (incs : t list) : unit =
+  match List.rev incs with
+  | [] -> ()
+  | last :: _ ->
+      last.n_final <- true;
+      last.n_disposition <- disposition
+
+let to_json (seq : int) (i : t) : Json.t =
+  let repro =
+    Json.Obj
+      (("file", Json.Str i.n_file)
+      :: ("flags", Json.Str i.n_flags)
+      :: (match i.n_seed with Some s -> [ ("seed", Json.Int s) ] | None -> []))
+  in
+  Json.Obj
+    ([
+       ("seq", Json.Int seq);
+       ("kind", Json.Str i.n_kind);
+       ("file", Json.Str i.n_file);
+       ("key", Json.Str i.n_key);
+       ("rung", Json.Str i.n_rung);
+       ("attempt", Json.Int i.n_attempt);
+       ("detail", Json.Str i.n_detail);
+     ]
+    @ (match i.n_loc with
+      | Some l -> [ ("loc", Json.Str (Loc.to_string l)) ]
+      | None -> [])
+    @ [
+        ("final", Json.Bool i.n_final);
+        ("disposition", Json.Str i.n_disposition);
+        ("repro", repro);
+      ])
+
+(** The journal: one header line carrying the schema, then one incident
+    per line in input order with sequence numbers assigned here.  Byte-
+    deterministic given the same incidents in the same order. *)
+let render (incs : t list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Json.to_string ~pretty:false (Json.Obj [ ("schema", Json.Str schema_version) ]));
+  Buffer.add_char b '\n';
+  List.iteri
+    (fun seq i ->
+      Buffer.add_string b (Json.to_string ~pretty:false (to_json seq i));
+      Buffer.add_char b '\n')
+    incs;
+  Buffer.contents b

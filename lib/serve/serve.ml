@@ -184,11 +184,23 @@ type exec = { e_value : string; e_output : string; e_cycles : int }
 
 let cycles_of (c : C.t) : int = c.C.rt.Rt.cpu.Cpu.stats.Cpu.cycles
 
+(* Run [f] under a cumulative cycle watchdog when a deadline is set.
+   The budget covers every nested simulator run — macroexpanders, DEFVAR
+   initializers, toplevel effects — so a unit cannot dodge it by
+   spreading work across many small calls. *)
+let under_deadline (c : C.t) (deadline : int option) (f : unit -> 'a) : 'a =
+  match deadline with
+  | None -> f ()
+  | Some cycles -> Rt.with_deadline c.C.rt ~cycles f
+
 (* Compile and run a whole file cold, capturing the image as evaluation
    proceeds.  The image embeds the compile's remark journal and counter
-   delta — the observability a warm load would otherwise lose. *)
-let compile_cold (cfg : cfg) ?(prepare = fun (_ : C.t) -> ()) ?fuel ~file ~key
-    (src : string) : Image.t * exec =
+   delta — the observability a warm load would otherwise lose.
+   [degraded] stamps the image as a retry-ladder fallback (see
+   {!Supervise}); it lands both in the envelope and as a remark so
+   --remarks and --diff-runs surface the weakened compile. *)
+let compile_cold (cfg : cfg) ?(prepare = fun (_ : C.t) -> ()) ?fuel ?deadline
+    ?(degraded = "") ~file ~key (src : string) : Image.t * exec =
   reset_compile_state ();
   let c = compiler_of cfg in
   c.C.rt.Rt.fuel <- fuel;
@@ -199,20 +211,24 @@ let compile_cold (cfg : cfg) ?(prepare = fun (_ : C.t) -> ()) ?fuel ~file ~key
   let remark_was = Remark.enabled () in
   Remark.reset ();
   Remark.set_enabled true;
+  if degraded <> "" then
+    Remark.analysis ~pass:"serve" ~rule:"DEGRADED"
+      (Printf.sprintf "compiled at degraded rung %s after retry" degraded);
   let before = Obs.snapshot () in
   Fun.protect
     ~finally:(fun () -> Remark.set_enabled remark_was)
     (fun () ->
       let actions = ref [] in
       let last =
-        List.fold_left
-          (fun _ form ->
-            let v = C.eval c form in
-            let units = List.rev !captured in
-            captured := [];
-            actions := classify form units :: !actions;
-            v)
-          c.C.rt.Rt.nil forms
+        under_deadline c deadline (fun () ->
+            List.fold_left
+              (fun _ form ->
+                let v = C.eval c form in
+                let units = List.rev !captured in
+                captured := [];
+                actions := classify form units :: !actions;
+                v)
+              c.C.rt.Rt.nil forms)
       in
       let exec =
         {
@@ -226,6 +242,7 @@ let compile_cold (cfg : cfg) ?(prepare = fun (_ : C.t) -> ()) ?fuel ~file ~key
           Image.i_file = file;
           i_key = key;
           i_flags = flags_of cfg;
+          i_degraded = degraded;
           i_actions = List.rev !actions;
           i_remarks = Remark.to_jsonl (Remark.remarks ());
           i_counters = Obs.diff ~before ();
@@ -284,17 +301,30 @@ let replay_action (c : C.t) (a : Image.action) : int =
       Rt.call c.C.rt fobj []
 
 (** Replay a loaded image into an existing compiler's world and return
-    the final value word. *)
+    the final value word.  Transactional: if any action traps or raises
+    mid-replay, the world's symbol and cell state is rewound to the
+    pre-load snapshot (static region, code store, obarray, macro table)
+    so a failed load is a clean no-op and the caller can retry — e.g.
+    fall back to a from-source compile — against an unpolluted world.
+    Heap allocations made by partial replay are not rewound; they become
+    unreachable garbage once the static roots are restored. *)
 let execute_in (c : C.t) (img : Image.t) : int =
-  List.fold_left (fun _ a -> replay_action c a) c.C.rt.Rt.nil img.Image.i_actions
+  let ws = C.snapshot_world c in
+  try
+    List.fold_left
+      (fun _ a -> replay_action c a)
+      c.C.rt.Rt.nil img.Image.i_actions
+  with e ->
+    C.restore_world c ws;
+    raise e
 
 (** Replay a loaded image into a {e fresh} world. *)
-let execute (cfg : cfg) ?(prepare = fun (_ : C.t) -> ()) ?fuel (img : Image.t) :
-    exec =
+let execute (cfg : cfg) ?(prepare = fun (_ : C.t) -> ()) ?fuel ?deadline
+    (img : Image.t) : exec =
   let c = compiler_of cfg in
   c.C.rt.Rt.fuel <- fuel;
   prepare c;
-  let last = execute_in c img in
+  let last = under_deadline c deadline (fun () -> execute_in c img) in
   {
     e_value = Rt.print_value c.C.rt last;
     e_output = Rt.output c.C.rt;
@@ -311,44 +341,56 @@ type result = {
   r_outcome : Oracle.outcome;
   r_exec : exec option;  (** populated on normal completion *)
   r_counters : Obs.snapshot;  (** this file's counter delta, for merging *)
+  r_trap : Cpu.trap_kind option;
+      (** machine trap behind a [Crash] outcome, when there was one —
+          the supervisor's retry ladder keys off this *)
+  r_loc : S1_loc.Loc.t option;  (** provenance of the faulting instruction *)
 }
 
 (* Same structured-outcome discipline as the differential oracle: a Lisp
    condition is an [Error], an engine failure is a [Crash], and nothing
-   escapes as a bare exception. *)
-let structured (f : unit -> exec) : Oracle.outcome * exec option =
+   escapes as a bare exception.  Machine traps additionally surface
+   their kind and provenance loc so the supervisor can classify the
+   fault (deadline vs. corruption vs. engine bug) without string
+   matching. *)
+let structured (f : unit -> exec) :
+    Oracle.outcome * exec option * (Cpu.trap_kind * S1_loc.Loc.t option) option
+    =
   match f () with
-  | e -> (Oracle.Value e.e_value, Some e)
-  | exception Rt.Lisp_error m -> (Oracle.Error m, None)
-  | exception Rt.Thrown _ -> (Oracle.Error "uncaught throw", None)
+  | e -> (Oracle.Value e.e_value, Some e, None)
+  | exception Rt.Lisp_error m -> (Oracle.Error m, None, None)
+  | exception Rt.Thrown _ -> (Oracle.Error "uncaught throw", None, None)
   | exception S1_frontend.Convert.Convert_error { message; _ } ->
-      (Oracle.Error ("convert: " ^ message), None)
+      (Oracle.Error ("convert: " ^ message), None, None)
   | exception Macroexp.Expansion_error { message; _ } ->
-      (Oracle.Error ("macro: " ^ message), None)
-  | exception Gen.Codegen_error m -> (Oracle.Crash ("codegen: " ^ m), None)
-  | exception Cpu.Trap { kind; pc; message; _ } ->
+      (Oracle.Error ("macro: " ^ message), None, None)
+  | exception Gen.Codegen_error m -> (Oracle.Crash ("codegen: " ^ m), None, None)
+  | exception Cpu.Trap { kind; pc; message; loc } ->
       ( Oracle.Crash
           (Printf.sprintf "%s trap at pc %d: %s" (Cpu.trap_kind_name kind) pc
              message),
-        None )
+        None,
+        Some (kind, loc) )
   | exception C.Strict_failure i ->
-      (Oracle.Crash ("strict: " ^ C.incident_to_string i), None)
-  | exception Stack_overflow -> (Oracle.Crash "compiler stack overflow", None)
-  | exception e -> (Oracle.Crash (Printexc.to_string e), None)
+      (Oracle.Crash ("strict: " ^ C.incident_to_string i), None, None)
+  | exception Stack_overflow -> (Oracle.Crash "compiler stack overflow", None, None)
+  | exception e -> (Oracle.Crash (Printexc.to_string e), None, None)
 
 (** Compile-or-load one file through the service: cache lookup by
     content address, cold compile + capture + store on miss, verified
     load + replay on hit.  Runs the program either way and never lets an
     exception escape. *)
-let compile_file ?cache ?prepare ?fuel (cfg : cfg) ~file (src : string) : result
-    =
+let compile_file ?cache ?prepare ?fuel ?deadline ?degraded (cfg : cfg) ~file
+    (src : string) : result =
   let t0 = Obs.snapshot () in
   let k = key_of cfg src in
   let cold () =
     let img = ref None in
-    let outcome, exec =
+    let outcome, exec, trap =
       structured (fun () ->
-          let i, e = compile_cold cfg ?prepare ?fuel ~file ~key:k src in
+          let i, e =
+            compile_cold cfg ?prepare ?fuel ?deadline ?degraded ~file ~key:k src
+          in
           img := Some i;
           e)
     in
@@ -356,18 +398,18 @@ let compile_file ?cache ?prepare ?fuel (cfg : cfg) ~file (src : string) : result
     | Some i ->
         let bytes = Image.save i in
         Option.iter (fun t -> Cache.store t k bytes) cache;
-        (false, bytes, outcome, exec)
-    | None -> (false, "", outcome, exec)
+        (false, bytes, outcome, exec, trap)
+    | None -> (false, "", outcome, exec, trap)
   in
-  let hit, bytes, outcome, exec =
-    match Option.bind cache (fun t -> Cache.find t k) with
+  let hit, bytes, outcome, exec, trap =
+    match Option.bind cache (fun t -> Cache.find ~file t k) with
     | Some bytes -> (
         match Image.load bytes with
         | Ok img ->
-            let outcome, exec =
-              structured (fun () -> execute cfg ?prepare ?fuel img)
+            let outcome, exec, trap =
+              structured (fun () -> execute cfg ?prepare ?fuel ?deadline img)
             in
-            (true, bytes, outcome, exec)
+            (true, bytes, outcome, exec, trap)
         | Error _ ->
             (* the cache verifies before serving, so this is unreachable;
                degrade to a from-source compile rather than fail *)
@@ -382,6 +424,8 @@ let compile_file ?cache ?prepare ?fuel (cfg : cfg) ~file (src : string) : result
     r_outcome = outcome;
     r_exec = exec;
     r_counters = Obs.diff ~before:t0 ();
+    r_trap = Option.map fst trap;
+    r_loc = Option.bind trap snd;
   }
 
 (* Batch ---------------------------------------------------------------- *)
@@ -413,6 +457,8 @@ let batch ?cache ?fuel ?(jobs = 1) (cfg : cfg) (files : string list) :
                 r_outcome = Oracle.Crash ("cannot read file: " ^ m);
                 r_exec = None;
                 r_counters = [];
+                r_trap = None;
+                r_loc = None;
               }
         in
         results.(i) <- Some r;

@@ -1,0 +1,7 @@
+; DEFMACRO through the compile service: the expander runs at compile
+; time (cold), so a warm cache hit must replay the expansion's code
+; without ever calling the expander again -- the warm cycle count is
+; strictly below the cold one (pinned in test_serve.ml).
+(DEFMACRO INC2 (X) (LIST (QUOTE +) X 2))
+(DEFUN USE-INC (N) (INC2 (INC2 N)))
+(USE-INC 38)

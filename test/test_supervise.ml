@@ -1,0 +1,519 @@
+(* Tests for the supervision layer over the compile service: torn/
+   truncated blobs quarantined (never deleted), the transactional
+   warm-image replay (a failed load is a clean no-op, byte-for-byte),
+   the retry ladder with graceful degradation, cycle-budget deadlines,
+   the per-key circuit breaker and bounded readmission, worker-domain
+   crash isolation, and the chaos-batch smoke invariants. *)
+
+module Cpu = S1_machine.Cpu
+module Rt = S1_runtime.Rt
+module C = S1_core.Compiler
+module Obs = S1_obs.Obs
+module Oracle = S1_fuzz.Oracle
+module Chaos = S1_fuzz.Chaos
+module Image = S1_serve.Image
+module Cache = S1_serve.Cache
+module Serve = S1_serve.Serve
+module Incident = S1_serve.Incident
+module Sup = S1_serve.Supervise
+
+let tmp_dir () = "_supervise_scratch"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir sub =
+  let dir = Filename.concat (tmp_dir ()) sub in
+  rm_rf dir;
+  dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path bytes =
+  Out_channel.with_open_bin path (fun oc -> output_string oc bytes)
+
+let sample_src = "(DEFUN F (X) (+ X 1))\n(F 20)"
+
+let cold_image ?(src = sample_src) () : Image.t * Serve.exec =
+  Serve.compile_cold Serve.default_cfg ~file:"<test>"
+    ~key:(Serve.key_of Serve.default_cfg src)
+    src
+
+(* Torn blobs ----------------------------------------------------------------- *)
+
+(* Truncation at every 1/8 boundary must classify as Corrupted — the
+   torn-write detection beyond the checksum (the checksum field itself
+   goes with the tail), not Bad_json (which would count as staleness). *)
+let test_torn_blob_classified_corrupt () =
+  let img, _ = cold_image () in
+  let bytes = Image.save img in
+  let len = String.length bytes in
+  Alcotest.(check bool)
+    "image long enough to carry the envelope prefix in each slice" true
+    (len / 8 > String.length Image.envelope_prefix);
+  for i = 1 to 7 do
+    let cut = len * i / 8 in
+    match Image.load (String.sub bytes 0 cut) with
+    | Error (Image.Corrupted _) -> ()
+    | Error e ->
+        Alcotest.failf "cut at %d/8 (%d bytes): expected Corrupted, got %s" i
+          cut (Image.load_error_to_string e)
+    | Ok _ -> Alcotest.failf "cut at %d/8: loader accepted a torn blob" i
+  done
+
+let test_torn_blob_quarantined_not_deleted () =
+  Obs.reset ();
+  let dir = fresh_dir "torn" in
+  let cache = Cache.create ~dir () in
+  let src = "(+ 40 2)" in
+  let r1 = Serve.compile_file ~cache Serve.default_cfg ~file:"<t>" src in
+  let path = Option.get (Cache.blob_path cache r1.Serve.r_key) in
+  let torn = String.sub r1.Serve.r_image 0 (String.length r1.Serve.r_image / 2) in
+  write_file path torn;
+  let cache2 = Cache.create ~dir () in
+  let (r2, incidents) =
+    Incident.with_sink (fun () ->
+        Serve.compile_file ~cache:cache2 Serve.default_cfg ~file:"<t>" src)
+  in
+  Alcotest.(check bool) "torn blob is not served" false r2.Serve.r_hit;
+  Alcotest.(check int) "quarantine counted" 1 (Obs.count "serve.quarantined");
+  Alcotest.(check int) "disjoint from stale" 0 (Obs.count "serve.stale");
+  let qpath = Option.get (Cache.quarantined_path cache2 r1.Serve.r_key) in
+  Alcotest.(check bool) "blob preserved in quarantine/" true
+    (Sys.file_exists qpath);
+  Alcotest.(check string) "quarantined bytes are the torn evidence" torn
+    (read_file qpath);
+  Alcotest.(check string)
+    "recompiled to identical bytes" r1.Serve.r_image r2.Serve.r_image;
+  (match incidents with
+  | [ inc ] ->
+      Alcotest.(check string) "incident kind" "quarantine" inc.Incident.n_kind;
+      Alcotest.(check string) "incident key" r1.Serve.r_key inc.Incident.n_key;
+      Alcotest.(check string) "incident file" "<t>" inc.Incident.n_file
+  | incs ->
+      Alcotest.failf "expected exactly 1 quarantine incident, got %d"
+        (List.length incs))
+
+(* Transactional replay -------------------------------------------------------- *)
+
+(* Comparable rendering of a world snapshot: field-by-field, with the
+   hashtable-derived lists canonically ordered. *)
+let canon (ws : C.world_snapshot) =
+  ( ws.C.ws_static,
+    ws.C.ws_code_mark,
+    ws.C.ws_symbols,
+    List.sort compare ws.C.ws_obarray,
+    List.sort compare ws.C.ws_macros,
+    ws.C.ws_gensym )
+
+let test_failed_replay_is_clean_noop () =
+  let img0, _ = cold_image () in
+  let img =
+    match Image.load (Image.save img0) with
+    | Ok i -> i
+    | Error e -> Alcotest.fail (Image.load_error_to_string e)
+  in
+  Serve.reset_compile_state ();
+  let c = C.create () in
+  let before = canon (C.snapshot_world c) in
+  (* a 1-cycle deadline lets the replay install the DEFUN, then traps on
+     the toplevel form's first simulated instruction: a mid-replay
+     failure with world effects already applied *)
+  (match Rt.with_deadline c.C.rt ~cycles:1 (fun () -> Serve.execute_in c img) with
+  | _ -> Alcotest.fail "1-cycle replay unexpectedly completed"
+  | exception Cpu.Trap { kind = Cpu.Deadline_expired; _ } -> ()
+  | exception e -> Alcotest.failf "unexpected exception: %s" (Printexc.to_string e));
+  let after = canon (C.snapshot_world c) in
+  Alcotest.(check bool) "failed load left the world untouched" true
+    (before = after);
+  (* the same world retries cleanly and lands at the same value ... *)
+  let v = Serve.execute_in c img in
+  Alcotest.(check string) "retry value" "21" (Rt.print_value c.C.rt v);
+  (* ... and at exactly the state a never-failed world reaches:
+     re-interning after the rollback reuses the same static addresses
+     and code origins, so determinism survives the rollback *)
+  Serve.reset_compile_state ();
+  let control = C.create () in
+  let _ = Serve.execute_in control img in
+  Alcotest.(check bool)
+    "world after rollback+retry = world of an undisturbed replay" true
+    (canon (C.snapshot_world c) = canon (C.snapshot_world control));
+  (* non-vacuity: a successful replay really does move the snapshot *)
+  Alcotest.(check bool) "successful replay changes the world" true
+    (before <> canon (C.snapshot_world c))
+
+(* Deadlines ------------------------------------------------------------------- *)
+
+let test_deadline_expires_and_fails_fast () =
+  Obs.reset ();
+  let policy = { Sup.default_policy with Sup.p_deadline = Some 1 } in
+  let s = Sup.run_unit ~policy Serve.default_cfg ~file:"<dl>" "(+ 1 2)" in
+  Alcotest.(check string) "disposition" "failed" s.Sup.s_disposition;
+  Alcotest.(check int) "fail-fast: exactly one attempt" 1 s.Sup.s_attempts;
+  Alcotest.(check bool) "trap classified as deadline" true
+    (s.Sup.s_result.Serve.r_trap = Some Cpu.Deadline_expired);
+  Alcotest.(check int) "deadline counted" 1 (Obs.count "serve.deadline");
+  Alcotest.(check int) "no retry without a ladder" 0 (Obs.count "serve.retries");
+  match s.Sup.s_incidents with
+  | [ inc ] ->
+      Alcotest.(check string) "incident kind" "deadline" inc.Incident.n_kind;
+      Alcotest.(check bool) "incident is terminal" true inc.Incident.n_final;
+      Alcotest.(check string) "incident disposition" "failed"
+        inc.Incident.n_disposition
+  | incs ->
+      Alcotest.failf "expected exactly 1 incident, got %d" (List.length incs)
+
+(* Degradation ladder ---------------------------------------------------------- *)
+
+let test_ladder_descends_and_stamps_image () =
+  Obs.reset ();
+  let policy = { Sup.default_policy with Sup.p_degrade = true } in
+  let s =
+    Sup.run_unit ~policy ~fault:Chaos.Bdeadline ~seed:7 Serve.default_cfg
+      ~file:"<ladder>" "(+ 1 2)"
+  in
+  Alcotest.(check string) "disposition" "degraded:no-tnbind-pdl"
+    s.Sup.s_disposition;
+  Alcotest.(check bool) "succeeded (degraded counts)" true (Sup.succeeded s);
+  Alcotest.(check bool) "degraded predicate" true (Sup.degraded s);
+  Alcotest.(check int) "two attempts" 2 s.Sup.s_attempts;
+  Alcotest.(check string) "value survives degradation" "3"
+    (Oracle.outcome_string s.Sup.s_result.Serve.r_outcome);
+  Alcotest.(check int) "retry counted" 1 (Obs.count "serve.retries");
+  Alcotest.(check int) "degradation counted" 1 (Obs.count "serve.degraded");
+  (* the degraded image is stamped, and carries the DEGRADED remark *)
+  (match Image.load s.Sup.s_result.Serve.r_image with
+  | Error e -> Alcotest.fail (Image.load_error_to_string e)
+  | Ok img ->
+      Alcotest.(check string) "image stamped with the rung" "no-tnbind-pdl"
+        img.Image.i_degraded;
+      let has_remark =
+        try
+          ignore
+            (Str.search_forward (Str.regexp_string "DEGRADED")
+               img.Image.i_remarks 0);
+          true
+        with Not_found -> false
+      in
+      Alcotest.(check bool) "DEGRADED remark journaled" true has_remark);
+  (* exactly one terminal incident, carrying the repro seed *)
+  match List.filter (fun i -> i.Incident.n_final) s.Sup.s_incidents with
+  | [ t ] ->
+      Alcotest.(check string) "terminal kind" "deadline" t.Incident.n_kind;
+      Alcotest.(check string) "terminal disposition" "degraded:no-tnbind-pdl"
+        t.Incident.n_disposition;
+      Alcotest.(check (option int)) "repro seed" (Some 7) t.Incident.n_seed;
+      Alcotest.(check bool) "repro flags recorded" true
+        (t.Incident.n_flags <> "")
+  | ts -> Alcotest.failf "expected 1 terminal incident, got %d" (List.length ts)
+
+(* A degraded image lives under its own content address: it can never be
+   served to a full-strength request. *)
+let test_degraded_image_has_distinct_key () =
+  let lattice =
+    ( Serve.default_cfg.Serve.sv_rules,
+      Serve.default_cfg.Serve.sv_options,
+      Serve.default_cfg.Serve.sv_cse )
+  in
+  let src = "(+ 1 2)" in
+  let full_key = Serve.key_of Serve.default_cfg src in
+  List.iter
+    (fun rung ->
+      match C.degrade_config rung lattice with
+      | None -> ()
+      | Some (rules, options, cse) ->
+          let cfg = { Serve.sv_rules = rules; sv_options = options; sv_cse = cse } in
+          if rung <> C.Full_opt then
+            Alcotest.(check bool)
+              (C.degrade_name rung ^ " rung keys apart from full")
+              true
+              (Serve.key_of cfg src <> full_key))
+    C.degrade_ladder
+
+(* Circuit breaker ------------------------------------------------------------- *)
+
+let test_breaker_opens_and_store_resets () =
+  Obs.reset ();
+  let dir = fresh_dir "breaker" in
+  (* readmit_limit 0 keeps readmission out of this test's arithmetic *)
+  let cache = Cache.create ~dir ~readmit_limit:0 () in
+  let src = "(+ 2 3)" in
+  let r1 = Serve.compile_file ~cache Serve.default_cfg ~file:"<br>" src in
+  let k = r1.Serve.r_key in
+  let path = Option.get (Cache.blob_path cache k) in
+  let torn = String.sub r1.Serve.r_image 0 12 in
+  let (), incidents =
+    Incident.with_sink (fun () ->
+        (* three corrupt reads: each quarantines; the third trips the
+           per-key breaker *)
+        for _ = 1 to Cache.default_breaker_limit do
+          Cache.drop_memory cache k;
+          write_file path torn;
+          Alcotest.(check (option string)) "corrupt blob misses" None
+            (Cache.find ~file:"<br>" cache k)
+        done;
+        (* breaker now open: even freshly-written GOOD bytes are refused *)
+        write_file path r1.Serve.r_image;
+        Alcotest.(check (option string)) "open breaker refuses the disk" None
+          (Cache.find ~file:"<br>" cache k))
+  in
+  Alcotest.(check int) "quarantines counted" Cache.default_breaker_limit
+    (Obs.count "serve.quarantined");
+  Alcotest.(check bool) "breaker openings counted" true
+    (Obs.count "serve.breaker_open" >= 2);
+  let kinds = List.map (fun i -> i.Incident.n_kind) incidents in
+  Alcotest.(check bool) "breaker-open incident recorded" true
+    (List.mem "breaker-open" kinds);
+  (* store publishes fresh bytes and closes the breaker *)
+  Cache.store cache k r1.Serve.r_image;
+  Cache.drop_memory cache k;
+  Alcotest.(check (option string)) "store resets the breaker"
+    (Some r1.Serve.r_image)
+    (Cache.find ~file:"<br>" cache k)
+
+(* Readmission ----------------------------------------------------------------- *)
+
+let test_readmit_recovers_transient_corruption () =
+  Obs.reset ();
+  let dir = fresh_dir "readmit" in
+  let cache = Cache.create ~dir () in
+  let src = "(+ 4 5)" in
+  let r1 = Serve.compile_file ~cache Serve.default_cfg ~file:"<ra>" src in
+  let k = r1.Serve.r_key in
+  let path = Option.get (Cache.blob_path cache k) in
+  let qpath = Option.get (Cache.quarantined_path cache k) in
+  (* simulate a transient fault: the blob sits in quarantine but its
+     bytes are actually sound *)
+  Cache.ensure_dir (Filename.dirname qpath);
+  Sys.rename path qpath;
+  Cache.drop_memory cache k;
+  Alcotest.(check (option string)) "sound quarantined blob is readmitted"
+    (Some r1.Serve.r_image)
+    (Cache.find ~file:"<ra>" cache k);
+  Alcotest.(check int) "readmission counted" 1 (Obs.count "serve.readmitted");
+  Alcotest.(check bool) "blob moved back into the store" true
+    (Sys.file_exists path);
+  Alcotest.(check bool) "quarantine slot vacated" false (Sys.file_exists qpath)
+
+let test_readmit_is_bounded () =
+  Obs.reset ();
+  let dir = fresh_dir "readmit-bound" in
+  let cache = Cache.create ~dir () in
+  let src = "(+ 6 7)" in
+  let r1 = Serve.compile_file ~cache Serve.default_cfg ~file:"<rb>" src in
+  let k = r1.Serve.r_key in
+  let path = Option.get (Cache.blob_path cache k) in
+  let qpath = Option.get (Cache.quarantined_path cache k) in
+  Cache.ensure_dir (Filename.dirname qpath);
+  Sys.remove path;
+  write_file qpath (String.sub r1.Serve.r_image 0 12);
+  (* every lookup past the readmit limit stops re-reading the blob *)
+  for _ = 1 to Cache.default_readmit_limit + 3 do
+    Cache.drop_memory cache k;
+    Alcotest.(check (option string)) "corrupt quarantined blob never served"
+      None
+      (Cache.find ~file:"<rb>" cache k)
+  done;
+  Alcotest.(check int) "no readmission happened" 0 (Obs.count "serve.readmitted");
+  Alcotest.(check bool) "evidence retained in quarantine" true
+    (Sys.file_exists qpath)
+
+(* Worker crash isolation ------------------------------------------------------ *)
+
+let test_worker_crash_isolated () =
+  Obs.reset ();
+  let count = 6 in
+  (* pick the first chaos seed whose fault plan kills at least one
+     worker and leaves at least one unit unfaulted *)
+  let faults_for s = List.init count (fun i -> Chaos.batch_fault_for ~seed:s ~index:i) in
+  let rec pick s =
+    let fs = faults_for s in
+    if List.mem Chaos.Bkill fs && List.mem Chaos.Bnone fs then s else pick (s + 1)
+  in
+  let seed = pick 1 in
+  let faults = faults_for seed in
+  let units =
+    List.init count (fun i -> (Printf.sprintf "<w%d>" i, Printf.sprintf "(+ %d 1)" i))
+  in
+  let policy = { Sup.default_policy with Sup.p_degrade = true } in
+  let report =
+    Sup.batch_sources ~policy ~jobs:2 ~chaos:seed Serve.default_cfg units
+  in
+  Alcotest.(check int) "batch completed despite kills" count
+    (List.length report.Sup.b_results);
+  let kills = ref 0 in
+  List.iteri
+    (fun i s ->
+      let file = Printf.sprintf "<w%d>" i in
+      match List.nth faults i with
+      | Chaos.Bkill ->
+          incr kills;
+          Alcotest.(check string) (file ^ ": killed unit failed") "failed"
+            s.Sup.s_disposition;
+          (match s.Sup.s_incidents with
+          | [ inc ] ->
+              Alcotest.(check string) (file ^ ": incident kind") "worker-crash"
+                inc.Incident.n_kind;
+              Alcotest.(check bool) (file ^ ": terminal") true inc.Incident.n_final
+          | incs ->
+              Alcotest.failf "%s: expected 1 worker-crash incident, got %d" file
+                (List.length incs))
+      | Chaos.Bnone | Chaos.Bcorrupt ->
+          (* no cache configured, so Bcorrupt has nothing to corrupt *)
+          Alcotest.(check string) (file ^ ": clean unit unharmed") "ok"
+            s.Sup.s_disposition;
+          Alcotest.(check string) (file ^ ": value")
+            (string_of_int (i + 1))
+            (Oracle.outcome_string s.Sup.s_result.Serve.r_outcome)
+      | Chaos.Bdeadline ->
+          Alcotest.(check bool)
+            (file ^ ": deadline-faulted unit degraded, not failed") true
+            (Sup.succeeded s))
+    report.Sup.b_results;
+  Alcotest.(check int) "every kill counted" !kills
+    (Obs.count "serve.worker_crashes")
+
+(* Batch report classification ------------------------------------------------- *)
+
+let test_batch_exit_classification () =
+  let policy = { Sup.default_policy with Sup.p_degrade = true } in
+  let clean =
+    Sup.batch_sources ~policy Serve.default_cfg [ ("<c>", "(+ 1 1)") ]
+  in
+  Alcotest.(check bool) "clean: no hard failure" false (Sup.hard_failure clean);
+  Alcotest.(check bool) "clean: not degraded" false
+    (Sup.all_ok_some_degraded clean);
+  (* fault injection is per-unit deterministic through run_unit, so the
+     mixed reports are built by hand from unit results *)
+  let d =
+    Sup.run_unit ~policy ~fault:Chaos.Bdeadline Serve.default_cfg ~file:"<d>"
+      "(+ 2 2)"
+  in
+  let ok = Sup.run_unit ~policy Serve.default_cfg ~file:"<ok>" "(+ 3 3)" in
+  let mixed = Sup.report_of [ ok; d ] in
+  Alcotest.(check bool) "degraded-only: no hard failure" false
+    (Sup.hard_failure mixed);
+  Alcotest.(check bool) "degraded-only: flagged" true
+    (Sup.all_ok_some_degraded mixed);
+  let f =
+    Sup.run_unit ~policy:Sup.default_policy ~fault:Chaos.Bdeadline
+      Serve.default_cfg ~file:"<f>" "(+ 4 4)"
+  in
+  let hard = Sup.report_of [ ok; f ] in
+  Alcotest.(check bool) "failed unit: hard failure" true (Sup.hard_failure hard);
+  Alcotest.(check bool) "hard failure wins over degraded" false
+    (Sup.all_ok_some_degraded hard)
+
+(* Unreadable files ------------------------------------------------------------ *)
+
+let test_unreadable_file_is_io_incident () =
+  let missing = Filename.concat (fresh_dir "io") "no-such-file.lisp" in
+  let report = Sup.batch Serve.default_cfg [ missing ] in
+  match report.Sup.b_results with
+  | [ s ] ->
+      Alcotest.(check string) "disposition" "failed" s.Sup.s_disposition;
+      Alcotest.(check bool) "hard failure" true (Sup.hard_failure report);
+      (match s.Sup.s_incidents with
+      | [ inc ] ->
+          Alcotest.(check string) "kind" "io" inc.Incident.n_kind;
+          Alcotest.(check bool) "terminal" true inc.Incident.n_final
+      | incs -> Alcotest.failf "expected 1 io incident, got %d" (List.length incs))
+  | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+
+(* Journal rendering ------------------------------------------------------------ *)
+
+let test_journal_is_deterministic_jsonl () =
+  let policy = { Sup.default_policy with Sup.p_degrade = true } in
+  let mk () =
+    Sup.run_unit ~policy ~fault:Chaos.Bdeadline ~seed:3 Serve.default_cfg
+      ~file:"<j>" "(+ 5 5)"
+  in
+  let j1 = Incident.render (mk ()).Sup.s_incidents in
+  let j2 = Incident.render (mk ()).Sup.s_incidents in
+  Alcotest.(check string) "identical runs render identical journals" j1 j2;
+  (match String.split_on_char '\n' j1 with
+  | header :: _ ->
+      Alcotest.(check bool) "header carries the schema" true
+        (let re = Str.regexp_string Incident.schema_version in
+         try ignore (Str.search_forward re header 0); true
+         with Not_found -> false)
+  | [] -> Alcotest.fail "empty journal");
+  Alcotest.(check bool) "repro block present" true
+    (let re = Str.regexp_string "\"repro\"" in
+     try ignore (Str.search_forward re j1 0); true with Not_found -> false)
+
+(* Chaos smoke (the end-to-end acceptance harness) ------------------------------ *)
+
+let test_chaos_smoke_invariants () =
+  let dir = fresh_dir "chaos" in
+  let report = Sup.chaos_smoke ~seed:11 ~count:8 ~jobs:4 ~dir () in
+  (match report.Sup.k_failures with
+  | [] -> ()
+  | _ -> Alcotest.fail (Sup.smoke_summary report));
+  Alcotest.(check bool) "some faults were injected" true (report.Sup.k_faulted > 0);
+  Alcotest.(check bool) "journal non-empty" true
+    (String.length report.Sup.k_journal > 0)
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "torn",
+        [
+          Alcotest.test_case "every 1/8 truncation is Corrupted" `Quick
+            test_torn_blob_classified_corrupt;
+          Alcotest.test_case "quarantined, not deleted" `Quick
+            test_torn_blob_quarantined_not_deleted;
+        ] );
+      ( "transactional",
+        [
+          Alcotest.test_case "failed replay is a clean no-op" `Quick
+            test_failed_replay_is_clean_noop;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "expires and fails fast" `Quick
+            test_deadline_expires_and_fails_fast;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "descends and stamps the image" `Quick
+            test_ladder_descends_and_stamps_image;
+          Alcotest.test_case "degraded rungs key apart" `Quick
+            test_degraded_image_has_distinct_key;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "opens after repeated corruption" `Quick
+            test_breaker_opens_and_store_resets;
+        ] );
+      ( "readmit",
+        [
+          Alcotest.test_case "recovers transient corruption" `Quick
+            test_readmit_recovers_transient_corruption;
+          Alcotest.test_case "bounded per key" `Quick test_readmit_is_bounded;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "worker crash isolated" `Slow
+            test_worker_crash_isolated;
+          Alcotest.test_case "unreadable file is an io incident" `Quick
+            test_unreadable_file_is_io_incident;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "exit classification" `Quick
+            test_batch_exit_classification;
+          Alcotest.test_case "journal deterministic" `Quick
+            test_journal_is_deterministic_jsonl;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "smoke invariants hold" `Slow
+            test_chaos_smoke_invariants;
+        ] );
+    ]
